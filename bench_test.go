@@ -1,0 +1,315 @@
+package repro
+
+// The benchmark harness: one benchmark per table and figure of the
+// paper's evaluation chapter. Each benchmark regenerates its experiment
+// through the simulation stack and reports the headline metric as custom
+// benchmark units (uJ per Sign+Verify, cycles, mW), so
+// `go test -bench=.` reproduces the whole evaluation.
+
+import (
+	"testing"
+
+	"repro/internal/billie"
+	"repro/internal/ec"
+	"repro/internal/energy"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func simBench(b *testing.B, arch sim.Arch, curve string, opt sim.Options) {
+	b.Helper()
+	var r sim.Result
+	for i := 0; i < b.N; i++ {
+		r = sim.MustRun(arch, curve, opt)
+	}
+	b.ReportMetric(r.TotalEnergy()*1e6, "uJ/op")
+	b.ReportMetric(float64(r.TotalCycles()), "cycles/op")
+	b.ReportMetric(r.Power.Total()*1e3, "mW")
+}
+
+// --- Table 7.1: prime-field latencies ---
+
+func BenchmarkTable7_1(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.WithMonte} {
+		for _, c := range ec.PrimeCurveNames {
+			b.Run(a.String()+"/"+c, func(b *testing.B) { simBench(b, a, c, opt) })
+		}
+	}
+}
+
+// --- Table 7.2: binary-field latencies ---
+
+func BenchmarkTable7_2(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.WithBillie} {
+		for _, c := range ec.BinaryCurveNames {
+			b.Run(a.String()+"/"+c, func(b *testing.B) { simBench(b, a, c, opt) })
+		}
+	}
+}
+
+// --- Tables 7.3/7.4 and Figure 7.15: the FFAU datapath-width study ---
+
+func BenchmarkTable7_3_FFAUWidth(b *testing.B) {
+	for _, bits := range []int{192, 256, 384} {
+		for _, w := range []int{8, 16, 32, 64} {
+			b.Run(benchName(bits, w), func(b *testing.B) {
+				var e float64
+				for i := 0; i < b.N; i++ {
+					_, _, e = report.FFAUMontMul(bits, w)
+				}
+				p := energy.FFAUPower[w][bits]
+				b.ReportMetric(e*1e9, "nJ/montmul")
+				b.ReportMetric(float64(p.AreaCells), "cells")
+			})
+		}
+	}
+}
+
+func BenchmarkTable7_4_FFAUMontMul(b *testing.B) {
+	for _, bits := range []int{192, 256, 384} {
+		for _, w := range []int{8, 16, 32, 64} {
+			b.Run(benchName(bits, w), func(b *testing.B) {
+				var p, t, e float64
+				for i := 0; i < b.N; i++ {
+					p, t, e = report.FFAUMontMul(bits, w)
+				}
+				b.ReportMetric(p*1e6, "uW")
+				b.ReportMetric(t*1e9, "ns/op-modeled")
+				b.ReportMetric(e*1e9, "nJ/montmul")
+			})
+		}
+	}
+}
+
+func BenchmarkTable7_5_ARMReference(b *testing.B) {
+	for _, bits := range []int{192, 256, 384} {
+		b.Run(benchName(bits, 32), func(b *testing.B) {
+			var e float64
+			for i := 0; i < b.N; i++ {
+				e = energy.ARMCortexM3PowerW * energy.ARMModMulTimeNs[bits] * 1e-9
+			}
+			b.ReportMetric(e*1e9, "nJ/montmul")
+		})
+	}
+}
+
+func benchName(bits, w int) string {
+	return "k" + itoa(bits) + "/w" + itoa(w)
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+// --- Figure 7.1: prime-field energy per microarchitecture ---
+
+func BenchmarkFig7_1(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte} {
+		for _, c := range ec.PrimeCurveNames {
+			b.Run(a.String()+"/"+c, func(b *testing.B) { simBench(b, a, c, opt) })
+		}
+	}
+}
+
+// --- Figures 7.2/7.3/7.4: energy breakdowns ---
+
+func BenchmarkFig7_2_Breakdown(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, c := range []string{"P-192", "P-256"} {
+		for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte} {
+			b.Run(c+"/"+a.String(), func(b *testing.B) {
+				var r sim.Result
+				for i := 0; i < b.N; i++ {
+					r = sim.MustRun(a, c, opt)
+				}
+				bd := r.CombinedBreakdown()
+				b.ReportMetric(bd.Pete*1e6, "uJ-pete")
+				b.ReportMetric(bd.ROM*1e6, "uJ-rom")
+				b.ReportMetric(bd.RAM*1e6, "uJ-ram")
+				b.ReportMetric(bd.Accel*1e6, "uJ-accel")
+			})
+		}
+	}
+}
+
+// --- Figure 7.5: binary software vs binary ISA extensions ---
+
+func BenchmarkFig7_5(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt} {
+		for _, c := range ec.BinaryCurveNames {
+			b.Run(a.String()+"/"+c, func(b *testing.B) { simBench(b, a, c, opt) })
+		}
+	}
+}
+
+// --- Figure 7.7: prime vs binary at equal security (+accelerators) ---
+
+func BenchmarkFig7_7(b *testing.B) {
+	opt := sim.DefaultOptions()
+	for _, pair := range ec.SecurityPairs {
+		b.Run(pair.Prime+"/monte", func(b *testing.B) { simBench(b, sim.WithMonte, pair.Prime, opt) })
+		b.Run(pair.Binary+"/billie", func(b *testing.B) { simBench(b, sim.WithBillie, pair.Binary, opt) })
+	}
+}
+
+// --- Figure 7.10: power per configuration ---
+
+func BenchmarkFig7_10_Power(b *testing.B) {
+	opt := sim.DefaultOptions()
+	rows := []struct {
+		arch  sim.Arch
+		curve string
+	}{
+		{sim.Baseline, "P-256"}, {sim.ISAExt, "P-256"},
+		{sim.ISAExtCache, "P-256"}, {sim.WithMonte, "P-256"},
+		{sim.WithBillie, "B-163"}, {sim.WithBillie, "B-571"},
+	}
+	for _, row := range rows {
+		b.Run(row.arch.String()+"/"+row.curve, func(b *testing.B) {
+			var r sim.Result
+			for i := 0; i < b.N; i++ {
+				r = sim.MustRun(row.arch, row.curve, opt)
+			}
+			b.ReportMetric(r.Power.StaticW*1e3, "mW-static")
+			b.ReportMetric(r.Power.DynamicW*1e3, "mW-dynamic")
+		})
+	}
+}
+
+// --- Figure 7.11: ideal instruction cache ---
+
+func BenchmarkFig7_11_IdealCache(b *testing.B) {
+	ideal := sim.DefaultOptions()
+	ideal.IdealCache = true
+	pairs := []struct {
+		real, cached sim.Arch
+	}{
+		{sim.Baseline, sim.BaselineCache},
+		{sim.ISAExt, sim.ISAExtCache},
+		{sim.WithMonte, sim.MonteCache},
+	}
+	for _, c := range []string{"P-192", "P-256", "P-384"} {
+		for _, p := range pairs {
+			b.Run(p.real.String()+"/"+c, func(b *testing.B) {
+				var f float64
+				for i := 0; i < b.N; i++ {
+					f = sim.MustRun(p.real, c, sim.DefaultOptions()).TotalEnergy() /
+						sim.MustRun(p.cached, c, ideal).TotalEnergy()
+				}
+				b.ReportMetric(f, "improvement-x")
+			})
+		}
+	}
+}
+
+// --- Figure 7.12: real instruction-cache sweep ---
+
+func BenchmarkFig7_12_CacheSweep(b *testing.B) {
+	for _, kb := range []int{1, 2, 4, 8} {
+		for _, pf := range []bool{false, true} {
+			name := itoa(kb) + "KB"
+			if pf {
+				name += "-prefetch"
+			}
+			b.Run(name, func(b *testing.B) {
+				o := sim.DefaultOptions()
+				o.CacheBytes = kb * 1024
+				o.Prefetch = pf
+				simBench(b, sim.ISAExtCache, "P-192", o)
+			})
+		}
+	}
+}
+
+// --- Figure 7.14: Billie scalar-multiply performance vs digit size ---
+
+func BenchmarkFig7_14_BillieDigits(b *testing.B) {
+	for d := 1; d <= 8; d++ {
+		for _, alg := range []string{"sliding-window", "montgomery"} {
+			b.Run("D"+itoa(d)+"/"+alg, func(b *testing.B) {
+				bl := billie.New(billie.Config{FieldName: "B-163", Digit: d})
+				var c uint64
+				for i := 0; i < b.N; i++ {
+					c = bl.ScalarMultCycles(alg)
+				}
+				b.ReportMetric(float64(c), "cycles/scalarmult")
+			})
+		}
+	}
+}
+
+// --- Section 7.7: double-buffer ablation ---
+
+func BenchmarkSec7_7_DoubleBuffer(b *testing.B) {
+	for _, db := range []bool{true, false} {
+		name := "off"
+		if db {
+			name = "on"
+		}
+		for _, c := range []string{"P-192", "P-384"} {
+			b.Run(name+"/"+c, func(b *testing.B) {
+				o := sim.DefaultOptions()
+				o.DoubleBuffer = db
+				simBench(b, sim.WithMonte, c, o)
+			})
+		}
+	}
+}
+
+// --- Real-crypto microbenchmarks: the library itself ---
+
+func BenchmarkECDSASign(b *testing.B) {
+	for _, name := range []string{"P-256", "B-283"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := NewCurve(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := c.GenerateKey([]byte("bench"))
+			d := make([]byte, 32)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := k.Sign(d); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkECDSAVerify(b *testing.B) {
+	for _, name := range []string{"P-256", "B-283"} {
+		b.Run(name, func(b *testing.B) {
+			c, err := NewCurve(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			k := c.GenerateKey([]byte("bench"))
+			d := make([]byte, 32)
+			sig, err := k.Sign(d)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !k.Verify(d, sig) {
+					b.Fatal("verify failed")
+				}
+			}
+		})
+	}
+}

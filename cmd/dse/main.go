@@ -1,0 +1,99 @@
+// Command dse is the design-space-exploration harness: it regenerates the
+// paper's tables and figures, or runs a single configuration.
+//
+// Usage:
+//
+//	dse -all                     # every table and figure
+//	dse -exp fig7.1              # one experiment (see -list)
+//	dse -arch monte -curve P-256 # one configuration
+//	dse -list                    # experiment identifiers
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+)
+
+func main() {
+	var (
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		exp   = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
+		list  = flag.Bool("list", false, "list experiment identifiers")
+		arch  = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
+		curve = flag.String("curve", "P-256", "curve for -arch runs")
+		cache = flag.Int("cache", 4096, "I-cache bytes for cached configurations")
+		pf    = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
+		nodb  = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
+		digit = flag.Int("digit", 3, "Billie multiplier digit size")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, n := range repro.ExperimentNames() {
+			fmt.Println(n)
+		}
+	case *all:
+		fmt.Print(repro.Experiments())
+	case *exp != "":
+		out, err := repro.Experiment(*exp)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
+	case *arch != "":
+		a, ok := parseArch(*arch)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+			os.Exit(1)
+		}
+		opt := repro.DefaultOptions()
+		opt.CacheBytes = *cache
+		opt.Prefetch = *pf
+		opt.DoubleBuffer = !*nodb
+		opt.BillieDigit = *digit
+		r, err := repro.Simulate(a, *curve, opt)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		printResult(r)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseArch(s string) (repro.Architecture, bool) {
+	switch strings.ToLower(s) {
+	case "baseline":
+		return repro.ArchBaseline, true
+	case "isa-ext", "isaext":
+		return repro.ArchISAExt, true
+	case "isa-ext+icache", "icache":
+		return repro.ArchISAExtCache, true
+	case "monte":
+		return repro.ArchMonte, true
+	case "billie":
+		return repro.ArchBillie, true
+	}
+	return 0, false
+}
+
+func printResult(r repro.SimResult) {
+	fmt.Printf("configuration : %s on %s\n", r.Arch, r.Curve)
+	fmt.Printf("sign          : %d cycles (%.2f ms)\n", r.SignCycles,
+		float64(r.SignCycles)*3e-6)
+	fmt.Printf("verify        : %d cycles (%.2f ms)\n", r.VerifyCycles,
+		float64(r.VerifyCycles)*3e-6)
+	bd := r.CombinedBreakdown()
+	fmt.Printf("energy (uJ)   : total=%.2f pete=%.2f rom=%.2f ram=%.2f uncore=%.2f accel=%.2f\n",
+		bd.Total()*1e6, bd.Pete*1e6, bd.ROM*1e6, bd.RAM*1e6, bd.Uncore*1e6, bd.Accel*1e6)
+	fmt.Printf("average power : %.2f mW (static %.2f, dynamic %.2f)\n",
+		r.Power.Total()*1e3, r.Power.StaticW*1e3, r.Power.DynamicW*1e3)
+}

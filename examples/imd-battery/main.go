@@ -1,0 +1,54 @@
+// IMD battery budgeting: the paper's motivating scenario (Section 1.1).
+// An implantable medical device has a small non-rechargeable battery;
+// every Joule spent on cryptography shortens its service life and every
+// surgical replacement endangers the patient. This example asks: with a
+// fixed security-energy budget, how many authenticated programming
+// sessions does each hardware configuration allow, and what does the
+// choice of curve cost?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A pacemaker-class battery holds ~2 Wh ≈ 7.2 kJ. Assume 0.05% of
+	// it (3.6 J) is budgeted for authentication over the device's life
+	// (the paper cites 5–10% of a WSN budget for handshakes; an IMD is
+	// far more conservative).
+	const budgetJ = 3.6
+
+	fmt.Println("IMD authentication budget: 3.6 J lifetime")
+	fmt.Println()
+	fmt.Printf("%-10s %-16s %14s %16s\n", "curve", "configuration", "uJ/handshake", "handshakes")
+
+	type cfg struct {
+		arch repro.Architecture
+		name string
+	}
+	opt := repro.DefaultOptions()
+	for _, curveName := range []string{"P-192", "P-256", "P-384"} {
+		for _, c := range []cfg{
+			{repro.ArchBaseline, "baseline"},
+			{repro.ArchISAExt, "isa-ext"},
+			{repro.ArchISAExtCache, "isa-ext+icache"},
+			{repro.ArchMonte, "monte"},
+		} {
+			r, err := repro.Simulate(c.arch, curveName, opt)
+			if err != nil {
+				log.Fatal(err)
+			}
+			e := r.TotalEnergy()
+			fmt.Printf("%-10s %-16s %14.2f %16.0f\n",
+				curveName, c.name, e*1e6, budgetJ/e)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("Reading: at 256-bit keys the baseline core burns the budget")
+	fmt.Println("~6x faster than the Monte-accelerated design — the difference")
+	fmt.Println("between a device that outlives its battery and one that does not.")
+}

@@ -1,0 +1,413 @@
+// Package asm is a small two-pass assembler for Pete's instruction set.
+// It exists so the field-arithmetic kernels the energy model measures are
+// real programs running on the pipeline simulator, not abstract cycle
+// formulas. Syntax follows GNU as for MIPS:
+//
+//	label:  lw   $t0, 4($a0)      # comment
+//	        addu $t1, $t0, $t2
+//	        bne  $t1, $zero, label
+//	        nop
+//	        .word 0x12345678
+//
+// Supported pseudo-instructions: nop, move, li, b, beqz, bnez, subiu.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+)
+
+// Program is an assembled program: a flat instruction stream plus the
+// label table (useful for locating entry points in tests).
+type Program struct {
+	Insts  []isa.Inst
+	Labels map[string]int // label -> instruction index
+}
+
+// Assemble translates source text into a Program.
+func Assemble(src string) (*Program, error) {
+	type line struct {
+		num    int
+		text   string
+		label  string
+		fields []string
+	}
+	var lines []line
+	labels := make(map[string]int)
+	idx := 0
+	for num, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		// Peel off any labels.
+		for {
+			ci := strings.IndexByte(text, ':')
+			if ci < 0 {
+				break
+			}
+			lbl := strings.TrimSpace(text[:ci])
+			if strings.ContainsAny(lbl, " \t") {
+				return nil, fmt.Errorf("line %d: malformed label %q", num+1, lbl)
+			}
+			if _, dup := labels[lbl]; dup {
+				return nil, fmt.Errorf("line %d: duplicate label %q", num+1, lbl)
+			}
+			labels[lbl] = idx
+			text = strings.TrimSpace(text[ci+1:])
+		}
+		if text == "" {
+			continue
+		}
+		l := line{num: num + 1, text: text}
+		mn, rest, _ := strings.Cut(text, " ")
+		l.fields = append([]string{strings.ToLower(strings.TrimSpace(mn))}, splitOperands(rest)...)
+		lines = append(lines, l)
+		idx += instCount(l.fields[0])
+	}
+
+	var prog Program
+	prog.Labels = labels
+	for _, l := range lines {
+		insts, err := encodeLine(l.fields, len(prog.Insts), labels)
+		if err != nil {
+			return nil, fmt.Errorf("line %d (%s): %w", l.num, l.text, err)
+		}
+		prog.Insts = append(prog.Insts, insts...)
+	}
+	return &prog, nil
+}
+
+// MustAssemble panics on assembly errors; for generated kernels.
+func MustAssemble(src string) *Program {
+	p, err := Assemble(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// instCount returns how many machine instructions a mnemonic expands to.
+func instCount(mn string) int {
+	switch mn {
+	case "li":
+		// Worst case lui+ori; pass 1 must be conservative and pass 2
+		// must match, so li always expands to 2.
+		return 2
+	default:
+		return 1
+	}
+}
+
+func reg(s string) (int, error) {
+	if !strings.HasPrefix(s, "$") {
+		return 0, fmt.Errorf("expected register, got %q", s)
+	}
+	r, ok := isa.RegNames[strings.TrimPrefix(s, "$")]
+	if !ok {
+		return 0, fmt.Errorf("unknown register %q", s)
+	}
+	return r, nil
+}
+
+func imm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of range", s)
+	}
+	return int32(uint32(v & 0xffffffff)), nil
+}
+
+// memOperand parses "imm($reg)".
+func memOperand(s string) (int32, int, error) {
+	o := strings.IndexByte(s, '(')
+	c := strings.IndexByte(s, ')')
+	if o < 0 || c < o {
+		return 0, 0, fmt.Errorf("bad memory operand %q", s)
+	}
+	off := int32(0)
+	if o > 0 {
+		v, err := imm(s[:o])
+		if err != nil {
+			return 0, 0, err
+		}
+		off = v
+	}
+	r, err := reg(s[o+1 : c])
+	return off, r, err
+}
+
+func encodeLine(f []string, pc int, labels map[string]int) ([]isa.Inst, error) {
+	mn := f[0]
+	args := f[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s expects %d operands, got %d", mn, n, len(args))
+		}
+		return nil
+	}
+	branchTarget := func(s string) (int32, error) {
+		if t, ok := labels[s]; ok {
+			// Offset is relative to the delay slot (pc+1).
+			return int32(t - (pc + 1)), nil
+		}
+		return imm(s)
+	}
+	one := func(i isa.Inst) []isa.Inst { return []isa.Inst{i} }
+
+	switch mn {
+	// Pseudo-instructions.
+	case "nop":
+		return one(isa.Inst{Op: isa.SLL}), nil
+	case "move":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.ADDU, Rd: rd, Rs: rs, Rt: 0}), nil
+	case "li":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(args[1])
+		if err != nil {
+			return nil, err
+		}
+		u := uint32(v)
+		// Always two instructions so pass-1 sizing holds.
+		return []isa.Inst{
+			{Op: isa.LUI, Rt: rt, Imm: int32(u >> 16)},
+			{Op: isa.ORI, Rt: rt, Rs: rt, Imm: int32(u & 0xffff)},
+		}, nil
+	case "b":
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		t, err := branchTarget(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.BEQ, Rs: 0, Rt: 0, Imm: t}), nil
+	case "beqz", "bnez":
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		t, err := branchTarget(args[1])
+		if err != nil {
+			return nil, err
+		}
+		op := isa.BEQ
+		if mn == "bnez" {
+			op = isa.BNE
+		}
+		return one(isa.Inst{Op: op, Rs: rs, Rt: 0, Imm: t}), nil
+	case "subiu":
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[1])
+		if err != nil {
+			return nil, err
+		}
+		v, err := imm(args[2])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: isa.ADDIU, Rt: rt, Rs: rs, Imm: -v}), nil
+	case ".word":
+		return nil, fmt.Errorf(".word not supported in text section")
+	}
+
+	op, ok := isa.OpByName[mn]
+	if !ok {
+		return nil, fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	switch op {
+	case isa.ADDU, isa.SUBU, isa.AND, isa.OR, isa.XOR, isa.NOR,
+		isa.SLT, isa.SLTU, isa.SLLV, isa.SRLV, isa.SRAV:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		rt, err3 := reg(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		if op == isa.SLLV || op == isa.SRLV || op == isa.SRAV {
+			// rd, rt, rs ordering: value is rt, amount is rs.
+			return one(isa.Inst{Op: op, Rd: rd, Rt: rs, Rs: rt}), nil
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs: rs, Rt: rt}), nil
+	case isa.SLL, isa.SRL, isa.SRA:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		sa, err3 := imm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rt: rt, Imm: sa & 31}), nil
+	case isa.MULT, isa.MULTU, isa.DIV, isa.DIVU,
+		isa.MADDU, isa.M2ADDU, isa.ADDAU, isa.MULGF2, isa.MADDGF2:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs: rs, Rt: rt}), nil
+	case isa.SHA, isa.HALT:
+		if err := need(0); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op}), nil
+	case isa.MFHI, isa.MFLO:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd}), nil
+	case isa.MTHI, isa.MTLO, isa.JR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		rs, err := reg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs: rs}), nil
+	case isa.JALR:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rd, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rd: rd, Rs: rs}), nil
+	case isa.J, isa.JAL:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		if t, ok := labels[args[0]]; ok {
+			return one(isa.Inst{Op: op, Imm: int32(t)}), nil
+		}
+		v, err := imm(args[0])
+		if err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Imm: v}), nil
+	case isa.ADDIU, isa.ANDI, isa.ORI, isa.XORI, isa.SLTI, isa.SLTIU:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(args[0])
+		rs, err2 := reg(args[1])
+		v, err3 := imm(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rt: rt, Rs: rs, Imm: v}), nil
+	case isa.LUI:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(args[0])
+		v, err2 := imm(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rt: rt, Imm: v}), nil
+	case isa.LW, isa.LB, isa.LBU, isa.LH, isa.LHU, isa.SW, isa.SB, isa.SH:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rt, err1 := reg(args[0])
+		off, rs, err2 := memOperand(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rt: rt, Rs: rs, Imm: off}), nil
+	case isa.BEQ, isa.BNE:
+		if err := need(3); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		rt, err2 := reg(args[1])
+		t, err3 := branchTarget(args[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs: rs, Rt: rt, Imm: t}), nil
+	case isa.BLEZ, isa.BGTZ, isa.BLTZ, isa.BGEZ:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		rs, err1 := reg(args[0])
+		t, err2 := branchTarget(args[1])
+		if err := firstErr(err1, err2); err != nil {
+			return nil, err
+		}
+		return one(isa.Inst{Op: op, Rs: rs, Imm: t}), nil
+	}
+	return nil, fmt.Errorf("unhandled op %v", op)
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

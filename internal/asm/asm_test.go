@@ -1,0 +1,179 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestLabelsAndBranches(t *testing.T) {
+	p, err := Assemble(`
+start:	addiu $t0, $zero, 3
+loop:	addiu $t0, $t0, -1
+		bne   $t0, $zero, loop
+		nop
+		beq   $zero, $zero, start
+		nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["start"] != 0 || p.Labels["loop"] != 1 {
+		t.Errorf("labels wrong: %v", p.Labels)
+	}
+	// bne at index 2 targets loop (1): offset = 1 - 3 = -2.
+	if p.Insts[2].Imm != -2 {
+		t.Errorf("bne offset %d, want -2", p.Insts[2].Imm)
+	}
+	// beq at index 4 targets start (0): offset = 0 - 5 = -5.
+	if p.Insts[4].Imm != -5 {
+		t.Errorf("beq offset %d, want -5", p.Insts[4].Imm)
+	}
+}
+
+func TestLiExpansion(t *testing.T) {
+	p, err := Assemble(`
+		li $t0, 0x12345678
+		li $t1, 7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 4 {
+		t.Fatalf("li must expand to 2 instructions each, got %d total", len(p.Insts))
+	}
+	if p.Insts[0].Op != isa.LUI || p.Insts[1].Op != isa.ORI {
+		t.Error("li expansion wrong ops")
+	}
+	if p.Insts[0].Imm != 0x1234 || p.Insts[1].Imm != 0x5678 {
+		t.Errorf("li imm split wrong: %x %x", p.Insts[0].Imm, p.Insts[1].Imm)
+	}
+}
+
+func TestLiLabelSizingConsistency(t *testing.T) {
+	// Labels after li must account for the 2-instruction expansion.
+	p, err := Assemble(`
+		li $t0, 1
+after:	nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Labels["after"] != 2 {
+		t.Errorf("label after li = %d, want 2", p.Labels["after"])
+	}
+}
+
+func TestMemOperands(t *testing.T) {
+	p, err := Assemble(`
+		lw $t0, 8($a0)
+		sw $t1, -4($sp)
+		lw $t2, ($gp)
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Imm != 8 || p.Insts[0].Rs != 4 || p.Insts[0].Rt != 8 {
+		t.Errorf("lw parse wrong: %+v", p.Insts[0])
+	}
+	if p.Insts[1].Imm != -4 || p.Insts[1].Rs != 29 {
+		t.Errorf("sw parse wrong: %+v", p.Insts[1])
+	}
+	if p.Insts[2].Imm != 0 || p.Insts[2].Rs != 28 {
+		t.Errorf("lw no-offset parse wrong: %+v", p.Insts[2])
+	}
+}
+
+func TestNumericRegisters(t *testing.T) {
+	p, err := Assemble("addu $3, $4, $5\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Rd != 3 || p.Insts[0].Rs != 4 || p.Insts[0].Rt != 5 {
+		t.Errorf("numeric registers wrong: %+v", p.Insts[0])
+	}
+}
+
+func TestShiftVariableOperandOrder(t *testing.T) {
+	// sllv rd, rt(value), rs(amount) in assembly order rd, value, amount.
+	p, err := Assemble("sllv $t2, $t0, $t1\nhalt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.Insts[0]
+	if in.Rd != 10 || in.Rt != 8 || in.Rs != 9 {
+		t.Errorf("sllv operand order wrong: %+v", in)
+	}
+}
+
+func TestCommentsAndBlankLines(t *testing.T) {
+	p, err := Assemble(`
+	# leading comment
+	nop        # trailing comment
+
+	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Insts) != 2 {
+		t.Errorf("got %d instructions, want 2", len(p.Insts))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"bogus $t0, $t1", "unknown mnemonic"},
+		{"addu $t0, $t1", "expects 3 operands"},
+		{"addu $t0, $t1, $tx", "unknown register"},
+		{"lw $t0, 4[$t1]", "bad memory operand"},
+		{"dup: nop\ndup: nop", "duplicate label"},
+		{"addiu $t0, $t1, zzz", "bad immediate"},
+	}
+	for _, c := range cases {
+		_, err := Assemble(c.src)
+		if err == nil {
+			t.Errorf("%q: expected error", c.src)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%q: error %q does not mention %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustAssemblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustAssemble should panic on bad source")
+		}
+	}()
+	MustAssemble("not an instruction")
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	p, err := Assemble(`
+		move  $t0, $t1
+		subiu $t2, $t3, 5
+		beqz  $t0, out
+		nop
+		bnez  $t0, out
+		nop
+out:	halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Insts[0].Op != isa.ADDU || p.Insts[0].Rt != 0 {
+		t.Error("move should be addu rd, rs, $zero")
+	}
+	if p.Insts[1].Op != isa.ADDIU || p.Insts[1].Imm != -5 {
+		t.Error("subiu should negate the immediate")
+	}
+	if p.Insts[2].Op != isa.BEQ || p.Insts[4].Op != isa.BNE {
+		t.Error("beqz/bnez wrong")
+	}
+}

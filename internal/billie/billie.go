@@ -1,0 +1,195 @@
+// Package billie models "Billie", the non-configurable GF(2^m) accelerator
+// of Section 5.5: a 16-entry, full-field-width register file, a
+// digit-serial multiplier (Algorithm 8) with field-specific reduction
+// folded in, a single-cycle hardwired squaring unit, a single-cycle
+// full-width adder, and a load/store unit buffering between the m-bit
+// register file and the 32-bit shared-RAM port. Pete feeds it coprocessor
+// instructions through a four-entry queue (Table 5.6).
+//
+// Functional results come from internal/gf2, so Billie computes bit-exact
+// binary-field arithmetic; the timing model captures digit count, issue
+// overhead, and load/store serialization.
+package billie
+
+import (
+	"fmt"
+
+	"repro/internal/gf2"
+)
+
+// DefaultDigit is the energy-optimal multiplier digit size (3 bits,
+// Section 7.6 citing Kumar et al.).
+const DefaultDigit = 3
+
+// Config describes one Billie instance.
+type Config struct {
+	FieldName string // NIST binary field, fixed at synthesis
+	Digit     int    // digit-serial multiplier width D
+}
+
+// Stats counts Billie activity for the energy model.
+type Stats struct {
+	MulOps, SqrOps, AddOps uint64
+	Loads, Stores          uint64
+	BusyCycles             uint64 // cycles Billie's datapath is occupied
+	IdleIssue              uint64 // Pete-side issue cycles
+	RegReads, RegWrites    uint64 // register-file accesses (energy model)
+	SharedReads            uint64 // 32-bit words moved from shared RAM
+	SharedWrites           uint64
+}
+
+// Billie is one accelerator instance.
+type Billie struct {
+	Cfg   Config
+	F     *gf2.Field
+	Stats Stats
+
+	regs [16]gf2.Elem
+}
+
+// issueCycles models Pete fetching and feeding one coprocessor instruction
+// through the queue (Section 5.5.1's control-bottleneck mitigation).
+const issueCycles = 2
+
+// New builds a Billie instance for a NIST binary field.
+func New(cfg Config) *Billie {
+	if cfg.Digit <= 0 {
+		cfg.Digit = DefaultDigit
+	}
+	f := gf2.NISTField(cfg.FieldName, gf2.CLMul)
+	b := &Billie{Cfg: cfg, F: f}
+	for i := range b.regs {
+		b.regs[i] = gf2.New(f.K)
+	}
+	return b
+}
+
+// M returns the field extension degree.
+func (b *Billie) M() int { return b.F.M }
+
+// MulCycles is the digit-serial multiplication latency: ceil(m/D)
+// iterations plus the final reduction and result write-back.
+func (b *Billie) MulCycles() uint64 {
+	d := b.Cfg.Digit
+	return uint64((b.F.M+d-1)/d) + 3
+}
+
+// checkReg panics on a bad register index.
+func checkReg(r int) {
+	if r < 0 || r > 15 {
+		panic(fmt.Sprintf("billie: register %d out of range", r))
+	}
+}
+
+// Load moves a field element from memory into register rd (COP2LD).
+func (b *Billie) Load(rd int, v gf2.Elem) uint64 {
+	checkReg(rd)
+	copy(b.regs[rd], v)
+	words := uint64(b.F.K)
+	b.Stats.Loads++
+	b.Stats.SharedReads += words
+	b.Stats.RegWrites++
+	busy := words + issueCycles
+	b.Stats.BusyCycles += busy
+	b.Stats.IdleIssue += issueCycles
+	return busy
+}
+
+// Store moves register rs out to memory (COP2ST).
+func (b *Billie) Store(rs int) (gf2.Elem, uint64) {
+	checkReg(rs)
+	out := b.regs[rs].Clone()
+	words := uint64(b.F.K)
+	b.Stats.Stores++
+	b.Stats.SharedWrites += words
+	b.Stats.RegReads++
+	busy := words + issueCycles
+	b.Stats.BusyCycles += busy
+	return out, busy
+}
+
+// Mul executes COP2MUL fd ← fs × ft (modular digit-serial multiply).
+func (b *Billie) Mul(fd, fs, ft int) uint64 {
+	checkReg(fd)
+	checkReg(fs)
+	checkReg(ft)
+	b.F.Mul(b.regs[fd], b.regs[fs], b.regs[ft])
+	b.Stats.MulOps++
+	b.Stats.RegReads += 2
+	b.Stats.RegWrites++
+	busy := b.MulCycles() + issueCycles
+	b.Stats.BusyCycles += busy
+	return busy
+}
+
+// Sqr executes COP2SQR fd ← ft² (single-cycle hardwired squarer,
+// Section 5.5.3).
+func (b *Billie) Sqr(fd, ft int) uint64 {
+	checkReg(fd)
+	checkReg(ft)
+	b.F.Sqr(b.regs[fd], b.regs[ft])
+	b.Stats.SqrOps++
+	b.Stats.RegReads++
+	b.Stats.RegWrites++
+	busy := uint64(1 + issueCycles)
+	b.Stats.BusyCycles += busy
+	return busy
+}
+
+// Add executes COP2ADD fd ← fs + ft (single-cycle full-width XOR).
+func (b *Billie) Add(fd, fs, ft int) uint64 {
+	checkReg(fd)
+	checkReg(fs)
+	checkReg(ft)
+	b.F.Add(b.regs[fd], b.regs[fs], b.regs[ft])
+	b.Stats.AddOps++
+	b.Stats.RegReads += 2
+	b.Stats.RegWrites++
+	busy := uint64(1 + issueCycles)
+	b.Stats.BusyCycles += busy
+	return busy
+}
+
+// Reg returns a copy of a register (test access).
+func (b *Billie) Reg(i int) gf2.Elem {
+	checkReg(i)
+	return b.regs[i].Clone()
+}
+
+// ScalarMultCycles estimates one m-bit scalar point multiplication on
+// Billie with the sliding-window algorithm (the Figure 7.14 primitive):
+// per-bit one LD doubling (4M+5S) and per window-hit one mixed addition
+// (8M+5S), plus the initial loads and final inversion (Itoh–Tsujii:
+// m-1 squarings + ~log2(m)+wt(m-1) multiplies) and store-back.
+func (b *Billie) ScalarMultCycles(algorithm string) uint64 {
+	m := uint64(b.F.M)
+	mul := b.MulCycles() + issueCycles
+	sqr := uint64(1 + issueCycles)
+	add := uint64(1 + issueCycles)
+	ldst := uint64(b.F.K) + issueCycles
+	var cycles uint64
+	switch algorithm {
+	case "sliding-window":
+		dbl := 4*mul + 5*sqr
+		madd := 8*mul + 5*sqr + 2*add
+		adds := m / 5 // window-4 signed density ≈ 1/5
+		cycles = m*dbl + adds*madd
+		// Precompute 3P,5P,7P: three additions' worth.
+		cycles += 3 * (8*mul + 5*sqr)
+	case "montgomery":
+		// Ladder step: 6M + 5S per bit (Section 4.1 found it
+		// slower on Billie than the window method).
+		step := 6*mul + 5*sqr + 2*add
+		cycles = m * step
+		// y-recovery: ~10 multiplies and an inversion share.
+		cycles += 10 * mul
+	default:
+		panic("billie: unknown algorithm " + algorithm)
+	}
+	// Final affine conversion: one Itoh–Tsujii inversion plus 2 muls.
+	itMuls := uint64(10) // ≈ log2(m) + wt(m-1)
+	cycles += (m-1)*sqr + itMuls*mul + 2*mul
+	// Operand staging: ~8 loads + 2 stores.
+	cycles += 10 * ldst
+	return cycles
+}

@@ -1,0 +1,146 @@
+package billie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+)
+
+func randElem(r *rand.Rand, f *gf2.Field) gf2.Elem {
+	z := gf2.New(f.K)
+	for i := range z {
+		z[i] = r.Uint32()
+	}
+	if top := uint(f.M) % 32; top != 0 {
+		z[f.K-1] &= (1 << top) - 1
+	}
+	return z
+}
+
+func TestRegisterFileOps(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	b := New(Config{FieldName: "B-163"})
+	ref := gf2.NISTField("B-163", gf2.CLMul)
+	a1 := randElem(r, b.F)
+	a2 := randElem(r, b.F)
+	b.Load(0, a1)
+	b.Load(1, a2)
+	b.Mul(2, 0, 1)
+	b.Sqr(3, 0)
+	b.Add(4, 0, 1)
+	wantMul, wantSqr, wantAdd := gf2.New(ref.K), gf2.New(ref.K), gf2.New(ref.K)
+	ref.Mul(wantMul, a1, a2)
+	ref.Sqr(wantSqr, a1)
+	ref.Add(wantAdd, a1, a2)
+	got, _ := b.Store(2)
+	if !gf2.Equal(got, wantMul) {
+		t.Error("Billie mul wrong")
+	}
+	if !gf2.Equal(b.Reg(3), wantSqr) {
+		t.Error("Billie sqr wrong")
+	}
+	if !gf2.Equal(b.Reg(4), wantAdd) {
+		t.Error("Billie add wrong")
+	}
+}
+
+func TestMulCyclesDigitSerial(t *testing.T) {
+	// ceil(m/D) + pipeline overhead.
+	cases := []struct {
+		field string
+		d     int
+		want  uint64
+	}{
+		{"B-163", 1, 163 + 3},
+		{"B-163", 3, 55 + 3},
+		{"B-163", 8, 21 + 3},
+		{"B-571", 3, 191 + 3},
+	}
+	for _, c := range cases {
+		b := New(Config{FieldName: c.field, Digit: c.d})
+		if got := b.MulCycles(); got != c.want {
+			t.Errorf("%s D=%d: %d cycles, want %d", c.field, c.d, got, c.want)
+		}
+	}
+}
+
+func TestAllFieldsFunctional(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, name := range gf2.BinaryFieldNames {
+		b := New(Config{FieldName: name})
+		ref := gf2.NISTField(name, gf2.CLMul)
+		x := randElem(r, b.F)
+		y := randElem(r, b.F)
+		b.Load(5, x)
+		b.Load(6, y)
+		b.Mul(7, 5, 6)
+		want := gf2.New(ref.K)
+		ref.Mul(want, x, y)
+		if !gf2.Equal(b.Reg(7), want) {
+			t.Errorf("%s: multiply wrong", name)
+		}
+	}
+}
+
+func TestScalarMultCyclesShape(t *testing.T) {
+	// Figure 7.14's shape: cycles fall as the digit grows, and the
+	// sliding window beats the Montgomery ladder at every digit size.
+	var prevSW uint64
+	for d := 1; d <= 8; d++ {
+		b := New(Config{FieldName: "B-163", Digit: d})
+		sw := b.ScalarMultCycles("sliding-window")
+		ml := b.ScalarMultCycles("montgomery")
+		if sw >= ml {
+			t.Errorf("D=%d: sliding window (%d) should beat Montgomery (%d)", d, sw, ml)
+		}
+		if prevSW != 0 && sw >= prevSW {
+			t.Errorf("D=%d: cycles should fall with digit size", d)
+		}
+		prevSW = sw
+	}
+}
+
+func TestScalarMultBeatsPriorWork(t *testing.T) {
+	// Guo et al.'s energy-optimal point is ~313K cycles for a 163-bit
+	// scalar multiplication; Billie's sliding window at D=3 must beat
+	// it (Section 7.6).
+	b := New(Config{FieldName: "B-163", Digit: 3})
+	if c := b.ScalarMultCycles("sliding-window"); c >= 313000 {
+		t.Errorf("sliding window %d cycles does not beat prior work", c)
+	}
+}
+
+func TestStatsAndGuards(t *testing.T) {
+	b := New(Config{FieldName: "B-233"})
+	x := b.F.One.Clone()
+	b.Load(0, x)
+	b.Mul(1, 0, 0)
+	b.Sqr(2, 1)
+	b.Add(3, 1, 2)
+	b.Store(3)
+	s := b.Stats
+	if s.MulOps != 1 || s.SqrOps != 1 || s.AddOps != 1 ||
+		s.Loads != 1 || s.Stores != 1 {
+		t.Errorf("op counts wrong: %+v", s)
+	}
+	if s.BusyCycles == 0 || s.RegReads == 0 || s.RegWrites == 0 {
+		t.Errorf("cycle/regfile stats missing: %+v", s)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad register index should panic")
+		}
+	}()
+	b.Mul(16, 0, 0)
+}
+
+func TestUnknownAlgorithmPanics(t *testing.T) {
+	b := New(Config{FieldName: "B-163"})
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown algorithm should panic")
+		}
+	}()
+	b.ScalarMultCycles("double-and-always-add")
+}

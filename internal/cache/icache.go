@@ -1,0 +1,137 @@
+// Package cache implements the direct-mapped instruction cache of Section
+// 5.3: 16-byte lines, parameterizable capacity (1–8 KB evaluated), valid
+// bits, a three-cycle miss penalty against the 128-bit single-ported ROM,
+// and an optional single-entry stream-buffer prefetcher modeled after
+// Jouppi (Section 5.3.3). An Ideal mode never misses, reproducing the
+// best-case study of Figure 7.11.
+package cache
+
+import (
+	"fmt"
+
+	"repro/internal/mem"
+)
+
+// LineBytes is the cache block size: four 32-bit words, matching the
+// 128-bit ROM port that fills a whole line at once (Section 5.3.2).
+const LineBytes = 16
+
+// MissPenalty is the stall seen by the core on a miss; the 128-bit ROM
+// port keeps it at three cycles (Section 7.5).
+const MissPenalty = 3
+
+// Stats counts cache events for the energy model.
+type Stats struct {
+	Accesses      uint64
+	Misses        uint64
+	LineFills     uint64 // fills into the cache (misses + prefetch promotions)
+	PrefetchFills uint64 // ROM reads issued by the prefetcher
+	PrefetchHits  uint64 // misses served from the prefetch buffer
+}
+
+// ICache is a direct-mapped instruction cache with an optional prefetcher.
+type ICache struct {
+	SizeBytes int
+	Prefetch  bool
+	Ideal     bool // never miss (Figure 7.11's bound)
+
+	Mem   *mem.System
+	Stats Stats
+
+	lines int
+	tags  []uint32
+	valid []bool
+
+	// Single-entry stream buffer.
+	pfValid bool
+	pfLine  uint32 // line address held in the prefetch buffer
+}
+
+// New builds an instruction cache of sizeBytes capacity over ROM.
+func New(sizeBytes int, prefetch bool, m *mem.System) *ICache {
+	lines := sizeBytes / LineBytes
+	if lines <= 0 || lines&(lines-1) != 0 {
+		panic(fmt.Sprintf("cache: size %d is not a power-of-two number of lines", sizeBytes))
+	}
+	return &ICache{
+		SizeBytes: sizeBytes,
+		Prefetch:  prefetch,
+		Mem:       m,
+		lines:     lines,
+		tags:      make([]uint32, lines),
+		valid:     make([]bool, lines),
+	}
+}
+
+// NewIdeal builds the ideal never-miss cache model.
+func NewIdeal(sizeBytes int, m *mem.System) *ICache {
+	c := New(sizeBytes, false, m)
+	c.Ideal = true
+	return c
+}
+
+// Fetch implements cpu.FetchModel: it returns the stall cycles this
+// instruction fetch costs beyond the base cycle.
+func (c *ICache) Fetch(addr uint32) int {
+	c.Stats.Accesses++
+	if c.Ideal {
+		return 0
+	}
+	line := addr / LineBytes
+	idx := line % uint32(c.lines)
+	if c.valid[idx] && c.tags[idx] == line {
+		return 0 // hit
+	}
+	c.Stats.Misses++
+	if c.Prefetch && c.pfValid && c.pfLine == line {
+		// Served from the stream buffer: the line is forwarded to the
+		// core and written into the cache in the same cycle, and the
+		// buffer immediately starts fetching the next line.
+		c.Stats.PrefetchHits++
+		c.fill(idx, line)
+		c.prefetchNext(line)
+		return 0
+	}
+	// Real miss: read the 128-bit line from ROM.
+	c.Mem.CountLineFill()
+	c.Stats.LineFills++
+	c.fill(idx, line)
+	if c.Prefetch {
+		c.prefetchNext(line)
+	}
+	return MissPenalty
+}
+
+func (c *ICache) fill(idx, line uint32) {
+	c.valid[idx] = true
+	c.tags[idx] = line
+}
+
+func (c *ICache) prefetchNext(line uint32) {
+	next := line + 1
+	if c.pfValid && c.pfLine == next {
+		return
+	}
+	c.Mem.CountLineFill()
+	c.Stats.PrefetchFills++
+	c.pfValid = true
+	c.pfLine = next
+}
+
+// MissRate returns misses / accesses.
+func (c *ICache) MissRate() float64 {
+	if c.Stats.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Stats.Misses) / float64(c.Stats.Accesses)
+}
+
+// Reset invalidates the cache and clears counters (the reset-vector
+// initialization sequence of Section 5.3.2).
+func (c *ICache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+	c.pfValid = false
+	c.Stats = Stats{}
+}

@@ -1,0 +1,419 @@
+// Package cpu is the timing-and-functional simulator for "Pete", the
+// paper's five-stage in-order MIPS-subset core (Sections 2.2 and 5.1). It
+// executes real instructions (the kernels it runs produce bit-exact field
+// arithmetic, cross-checked against the pure-Go implementations) while
+// accounting cycles the way the pipeline would:
+//
+//   - one instruction per cycle when nothing stalls (IPC = 1 ideal);
+//   - a one-cycle load-use interlock (forwarding covers everything else);
+//   - branches with one architectural delay slot, a decode-stage static
+//     predictor (backward taken / forward not taken) and a one-cycle
+//     misprediction penalty resolved in execute;
+//   - a multi-cycle, unpipelined Karatsuba multiply unit living beside the
+//     integer pipeline behind the Hi/Lo(/OvFlo) registers — reads of
+//     Hi/Lo and back-to-back multiplies interlock until it finishes
+//     (Section 5.1.1);
+//   - a 34-cycle restoring divider on the same unit;
+//   - instruction fetches routed through a pluggable FetchModel (direct
+//     ROM or the instruction cache of Section 5.3).
+package cpu
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/mem"
+)
+
+// Config holds the microarchitectural knobs.
+type Config struct {
+	MulLatency int // Karatsuba multiply unit latency (paper: 4)
+	DivLatency int // restoring divider latency
+}
+
+// DefaultConfig matches the paper's baseline core.
+func DefaultConfig() Config { return Config{MulLatency: 4, DivLatency: 34} }
+
+// FetchModel accounts instruction-fetch timing and energy events.
+type FetchModel interface {
+	// Fetch is called once per instruction with its word address and
+	// returns extra stall cycles (0 when the fetch hits single-cycle
+	// memory).
+	Fetch(addr uint32) int
+}
+
+// ROMFetch is the no-cache fetch path: every instruction is a 32-bit ROM
+// read, single cycle.
+type ROMFetch struct{ Mem *mem.System }
+
+// Fetch counts the ROM instruction read; no added stalls.
+func (r ROMFetch) Fetch(addr uint32) int {
+	r.Mem.CountInstFetch()
+	return 0
+}
+
+// Stats aggregates the run's timing events.
+type Stats struct {
+	Cycles         uint64
+	Insts          uint64
+	LoadUseStalls  uint64
+	HiLoStalls     uint64
+	BranchFlushes  uint64
+	FetchStalls    uint64
+	Loads, Stores  uint64
+	MulOps, DivOps uint64
+}
+
+// CPU is one Pete core instance.
+type CPU struct {
+	Cfg   Config
+	Mem   *mem.System
+	Fetch FetchModel
+
+	Regs  [32]uint32
+	Hi    uint32
+	Lo    uint32
+	OvFlo uint32 // third accumulator word added by the ISA extensions
+
+	Stats Stats
+
+	prog []isa.Inst
+
+	hiloReadyAt uint64 // absolute cycle when the mul/div unit frees
+	loadDest    int    // register written by the immediately preceding load
+}
+
+// New builds a CPU over a memory system with the no-cache fetch path.
+func New(cfg Config, m *mem.System) *CPU {
+	c := &CPU{Cfg: cfg, Mem: m, loadDest: -1}
+	c.Fetch = ROMFetch{Mem: m}
+	return c
+}
+
+// Load installs the program.
+func (c *CPU) Load(prog []isa.Inst) { c.prog = prog }
+
+// Reset clears architectural and timing state (not memory).
+func (c *CPU) Reset() {
+	c.Regs = [32]uint32{}
+	c.Hi, c.Lo, c.OvFlo = 0, 0, 0
+	c.Stats = Stats{}
+	c.hiloReadyAt = 0
+	c.loadDest = -1
+}
+
+// Run executes from instruction index entry until HALT, returning the
+// stats. maxInsts guards against runaway programs.
+func (c *CPU) Run(entry int, maxInsts uint64) (Stats, error) {
+	pc := entry
+	npc := entry + 1
+	for {
+		if pc < 0 || pc >= len(c.prog) {
+			return c.Stats, fmt.Errorf("cpu: pc %d out of range", pc)
+		}
+		in := c.prog[pc]
+		if in.Op == isa.HALT {
+			return c.Stats, nil
+		}
+		if c.Stats.Insts >= maxInsts {
+			return c.Stats, fmt.Errorf("cpu: exceeded %d instructions", maxInsts)
+		}
+		c.Stats.Insts++
+		c.Stats.Cycles++
+
+		// Fetch-path stalls (cache misses).
+		if fs := c.Fetch.Fetch(uint32(pc * 4)); fs > 0 {
+			c.Stats.Cycles += uint64(fs)
+			c.Stats.FetchStalls += uint64(fs)
+		}
+
+		// Load-use interlock: one bubble if this instruction reads the
+		// register a load wrote in the previous cycle.
+		if c.loadDest >= 0 {
+			for _, s := range in.SrcRegs() {
+				if s == c.loadDest && s != 0 {
+					c.Stats.Cycles++
+					c.Stats.LoadUseStalls++
+					break
+				}
+			}
+		}
+		c.loadDest = -1
+
+		// Hi/Lo unit interlock: both new multiply-class issues and
+		// Hi/Lo reads wait for the in-flight operation.
+		if in.UsesMulUnit() || in.ReadsHiLo() || in.Op == isa.DIV || in.Op == isa.DIVU {
+			if c.hiloReadyAt > c.Stats.Cycles {
+				stall := c.hiloReadyAt - c.Stats.Cycles
+				c.Stats.Cycles = c.hiloReadyAt
+				c.Stats.HiLoStalls += stall
+			}
+		}
+
+		taken, target := c.execute(in, pc)
+
+		// Branch timing: one delay slot is architectural (its
+		// instruction always executes, costing its own cycle). The
+		// decode-stage predictor guesses backward-taken /
+		// forward-not-taken; a wrong guess flushes one speculatively
+		// fetched instruction (Section 2.2).
+		if in.IsBranch() {
+			predictTaken := in.Imm < 0
+			if taken != predictTaken {
+				c.Stats.Cycles++
+				c.Stats.BranchFlushes++
+			}
+		} else if in.Op == isa.JR || in.Op == isa.JALR {
+			// Register targets resolve in execute: one bubble.
+			c.Stats.Cycles++
+			c.Stats.BranchFlushes++
+		}
+
+		if taken {
+			// Execute the delay slot, then redirect.
+			pc, npc = npc, target
+		} else {
+			pc, npc = npc, npc+1
+		}
+	}
+}
+
+// execute performs the architectural effect of in at index pc and reports
+// whether control transfers (taken, target).
+func (c *CPU) execute(in isa.Inst, pc int) (bool, int) {
+	r := &c.Regs
+	rs, rt := r[in.Rs], r[in.Rt]
+	wr := func(idx int, v uint32) {
+		if idx != 0 {
+			r[idx] = v
+		}
+	}
+	switch in.Op {
+	case isa.ADDU:
+		wr(in.Rd, rs+rt)
+	case isa.SUBU:
+		wr(in.Rd, rs-rt)
+	case isa.AND:
+		wr(in.Rd, rs&rt)
+	case isa.OR:
+		wr(in.Rd, rs|rt)
+	case isa.XOR:
+		wr(in.Rd, rs^rt)
+	case isa.NOR:
+		wr(in.Rd, ^(rs | rt))
+	case isa.SLT:
+		if int32(rs) < int32(rt) {
+			wr(in.Rd, 1)
+		} else {
+			wr(in.Rd, 0)
+		}
+	case isa.SLTU:
+		if rs < rt {
+			wr(in.Rd, 1)
+		} else {
+			wr(in.Rd, 0)
+		}
+	case isa.SLL:
+		wr(in.Rd, rt<<uint(in.Imm&31))
+	case isa.SRL:
+		wr(in.Rd, rt>>uint(in.Imm&31))
+	case isa.SRA:
+		wr(in.Rd, uint32(int32(rt)>>uint(in.Imm&31)))
+	case isa.SLLV:
+		wr(in.Rd, rt<<(rs&31))
+	case isa.SRLV:
+		wr(in.Rd, rt>>(rs&31))
+	case isa.SRAV:
+		wr(in.Rd, uint32(int32(rt)>>(rs&31)))
+
+	case isa.MULT:
+		p := int64(int32(rs)) * int64(int32(rt))
+		c.Hi, c.Lo = uint32(uint64(p)>>32), uint32(uint64(p))
+		c.issueMul()
+	case isa.MULTU:
+		p := uint64(rs) * uint64(rt)
+		c.Hi, c.Lo = uint32(p>>32), uint32(p)
+		c.issueMul()
+	case isa.DIV:
+		if rt != 0 {
+			c.Lo = uint32(int32(rs) / int32(rt))
+			c.Hi = uint32(int32(rs) % int32(rt))
+		}
+		c.issueDiv()
+	case isa.DIVU:
+		if rt != 0 {
+			c.Lo = rs / rt
+			c.Hi = rs % rt
+		}
+		c.issueDiv()
+	case isa.MFHI:
+		wr(in.Rd, c.Hi)
+	case isa.MFLO:
+		wr(in.Rd, c.Lo)
+	case isa.MTHI:
+		c.Hi = rs
+	case isa.MTLO:
+		c.Lo = rs
+
+	// Prime-field ISA extensions (Table 5.1): 96-bit accumulator
+	// (OvFlo, Hi, Lo).
+	case isa.MADDU:
+		c.accAdd(uint64(rs) * uint64(rt))
+		c.issueMul()
+	case isa.M2ADDU:
+		p := uint64(rs) * uint64(rt)
+		c.accAdd(p << 1)
+		if p>>63 != 0 {
+			c.OvFlo++
+		}
+		c.issueMul()
+	case isa.ADDAU:
+		// (OvFlo,Hi,Lo) += (rs << 32) + rt.
+		c.accAdd(uint64(rs)<<32 | uint64(rt))
+	case isa.SHA:
+		c.Lo = c.Hi
+		c.Hi = c.OvFlo
+		c.OvFlo = 0
+
+	// Binary-field ISA extensions (Table 5.2).
+	case isa.MULGF2:
+		hi, lo := clmul32(rs, rt)
+		c.OvFlo = 0
+		c.Hi, c.Lo = hi, lo
+		c.issueMul()
+	case isa.MADDGF2:
+		hi, lo := clmul32(rs, rt)
+		c.Hi ^= hi
+		c.Lo ^= lo
+		c.issueMul()
+
+	case isa.LUI:
+		wr(in.Rt, uint32(in.Imm)<<16)
+	case isa.ADDIU:
+		wr(in.Rt, rs+uint32(in.Imm))
+	case isa.ANDI:
+		wr(in.Rt, rs&uint32(uint16(in.Imm)))
+	case isa.ORI:
+		wr(in.Rt, rs|uint32(uint16(in.Imm)))
+	case isa.XORI:
+		wr(in.Rt, rs^uint32(uint16(in.Imm)))
+	case isa.SLTI:
+		if int32(rs) < in.Imm {
+			wr(in.Rt, 1)
+		} else {
+			wr(in.Rt, 0)
+		}
+	case isa.SLTIU:
+		if rs < uint32(in.Imm) {
+			wr(in.Rt, 1)
+		} else {
+			wr(in.Rt, 0)
+		}
+
+	case isa.LW:
+		c.Stats.Loads++
+		wr(in.Rt, c.Mem.ReadData(rs+uint32(in.Imm)))
+		c.loadDest = in.Rt
+	case isa.LB, isa.LBU, isa.LH, isa.LHU:
+		c.Stats.Loads++
+		addr := rs + uint32(in.Imm)
+		w := c.Mem.ReadData(addr &^ 3)
+		sh := (addr & 3) * 8
+		b := w >> sh
+		switch in.Op {
+		case isa.LB:
+			wr(in.Rt, uint32(int32(int8(b))))
+		case isa.LBU:
+			wr(in.Rt, b&0xff)
+		case isa.LH:
+			wr(in.Rt, uint32(int32(int16(b))))
+		case isa.LHU:
+			wr(in.Rt, b&0xffff)
+		}
+		c.loadDest = in.Rt
+	case isa.SW:
+		c.Stats.Stores++
+		c.Mem.WriteData(rs+uint32(in.Imm), rt)
+	case isa.SB, isa.SH:
+		c.Stats.Stores++
+		addr := rs + uint32(in.Imm)
+		old := c.Mem.ReadData(addr &^ 3)
+		sh := (addr & 3) * 8
+		var mask, val uint32
+		if in.Op == isa.SB {
+			mask, val = 0xff<<sh, (rt&0xff)<<sh
+		} else {
+			mask, val = 0xffff<<sh, (rt&0xffff)<<sh
+		}
+		c.Mem.WriteData(addr&^3, old&^mask|val)
+
+	case isa.BEQ:
+		if rs == rt {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.BNE:
+		if rs != rt {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.BLEZ:
+		if int32(rs) <= 0 {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.BGTZ:
+		if int32(rs) > 0 {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.BLTZ:
+		if int32(rs) < 0 {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.BGEZ:
+		if int32(rs) >= 0 {
+			return true, pc + 1 + int(in.Imm)
+		}
+	case isa.J:
+		return true, int(in.Imm)
+	case isa.JAL:
+		wr(31, uint32((pc+2)*4))
+		return true, int(in.Imm)
+	case isa.JR:
+		return true, int(rs / 4)
+	case isa.JALR:
+		wr(in.Rd, uint32((pc+2)*4))
+		return true, int(rs / 4)
+	default:
+		panic(fmt.Sprintf("cpu: unimplemented op %v", in.Op))
+	}
+	return false, 0
+}
+
+// accAdd adds v into the 96-bit (OvFlo, Hi, Lo) accumulator.
+func (c *CPU) accAdd(v uint64) {
+	lo := uint64(c.Lo) + (v & 0xffffffff)
+	hi := uint64(c.Hi) + (v >> 32) + (lo >> 32)
+	c.Lo = uint32(lo)
+	c.Hi = uint32(hi)
+	c.OvFlo += uint32(hi >> 32)
+}
+
+func (c *CPU) issueMul() {
+	c.Stats.MulOps++
+	c.hiloReadyAt = c.Stats.Cycles + uint64(c.Cfg.MulLatency)
+}
+
+func (c *CPU) issueDiv() {
+	c.Stats.DivOps++
+	c.hiloReadyAt = c.Stats.Cycles + uint64(c.Cfg.DivLatency)
+}
+
+// clmul32 is the hardware 32x32 carry-less multiply.
+func clmul32(a, b uint32) (hi, lo uint32) {
+	var p uint64
+	bb := uint64(b)
+	for i := 0; i < 32; i++ {
+		if a&(1<<uint(i)) != 0 {
+			p ^= bb << uint(i)
+		}
+	}
+	return uint32(p >> 32), uint32(p)
+}

@@ -1,0 +1,380 @@
+package cpu
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/mem"
+)
+
+func runProg(t *testing.T, src string) (*CPU, Stats) {
+	t.Helper()
+	prog, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	m := mem.NewSystem()
+	c := New(DefaultConfig(), m)
+	c.Load(prog.Insts)
+	stats, err := c.Run(0, 1_000_000)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return c, stats
+}
+
+func TestBasicArithmetic(t *testing.T) {
+	c, _ := runProg(t, `
+		li   $t0, 7
+		li   $t1, 5
+		addu $t2, $t0, $t1
+		subu $t3, $t0, $t1
+		and  $t4, $t0, $t1
+		or   $t5, $t0, $t1
+		xor  $t6, $t0, $t1
+		nor  $t7, $t0, $t1
+		halt
+	`)
+	checks := map[int]uint32{
+		10: 12, 11: 2, 12: 5, 13: 7, 14: 2, 15: ^uint32(7),
+	}
+	for r, want := range checks {
+		if c.Regs[r] != want {
+			t.Errorf("reg %d = %#x, want %#x", r, c.Regs[r], want)
+		}
+	}
+}
+
+func TestShifts(t *testing.T) {
+	c, _ := runProg(t, `
+		li   $t0, 0x80000001
+		srl  $t1, $t0, 1
+		sra  $t2, $t0, 1
+		sll  $t3, $t0, 4
+		li   $t4, 8
+		srlv $t5, $t0, $t4
+		halt
+	`)
+	if c.Regs[9] != 0x40000000 {
+		t.Errorf("srl: %#x", c.Regs[9])
+	}
+	if c.Regs[10] != 0xc0000000 {
+		t.Errorf("sra: %#x", c.Regs[10])
+	}
+	if c.Regs[11] != 0x00000010 {
+		t.Errorf("sll: %#x", c.Regs[11])
+	}
+	if c.Regs[13] != 0x00800000 {
+		t.Errorf("srlv: %#x", c.Regs[13])
+	}
+}
+
+func TestZeroRegisterImmutable(t *testing.T) {
+	c, _ := runProg(t, `
+		li   $t0, 99
+		addu $zero, $t0, $t0
+		halt
+	`)
+	if c.Regs[0] != 0 {
+		t.Errorf("$zero = %d", c.Regs[0])
+	}
+}
+
+func TestMultiplyAndHiLo(t *testing.T) {
+	c, _ := runProg(t, `
+		li    $t0, 0xffffffff
+		li    $t1, 0xffffffff
+		multu $t0, $t1
+		mflo  $t2
+		mfhi  $t3
+		halt
+	`)
+	// 0xffffffff^2 = 0xfffffffe00000001
+	if c.Regs[10] != 0x00000001 || c.Regs[11] != 0xfffffffe {
+		t.Errorf("multu: hi=%#x lo=%#x", c.Regs[11], c.Regs[10])
+	}
+}
+
+func TestSignedMultiplyAndDivide(t *testing.T) {
+	c, _ := runProg(t, `
+		li   $t0, -6
+		li   $t1, 7
+		mult $t0, $t1
+		mflo $t2
+		li   $t3, -20
+		li   $t4, 6
+		div  $t3, $t4
+		mflo $t5
+		mfhi $t6
+		halt
+	`)
+	if int32(c.Regs[10]) != -42 {
+		t.Errorf("mult: %d", int32(c.Regs[10]))
+	}
+	if int32(c.Regs[13]) != -3 || int32(c.Regs[14]) != -2 {
+		t.Errorf("div: q=%d r=%d", int32(c.Regs[13]), int32(c.Regs[14]))
+	}
+}
+
+func TestMulLatencyInterlock(t *testing.T) {
+	// mflo immediately after multu must stall ~MulLatency cycles;
+	// independent instructions in between hide the latency.
+	back2back := `
+		li    $t0, 3
+		li    $t1, 4
+		multu $t0, $t1
+		mflo  $t2
+		halt
+	`
+	scheduled := `
+		li    $t0, 3
+		li    $t1, 4
+		multu $t0, $t1
+		addu  $t3, $t0, $t1
+		addu  $t4, $t0, $t1
+		addu  $t5, $t0, $t1
+		addu  $t6, $t0, $t1
+		mflo  $t2
+		halt
+	`
+	_, s1 := runProg(t, back2back)
+	_, s2 := runProg(t, scheduled)
+	if s1.HiLoStalls == 0 {
+		t.Error("back-to-back mflo should stall")
+	}
+	if s2.HiLoStalls != 0 {
+		t.Errorf("scheduled mflo should not stall, got %d", s2.HiLoStalls)
+	}
+	// The scheduled version executes 4 more instructions but should not
+	// be 4 cycles slower than back-to-back + its stalls.
+	if s2.Cycles >= s1.Cycles+4 {
+		t.Errorf("static scheduling gained nothing: %d vs %d", s2.Cycles, s1.Cycles)
+	}
+}
+
+func TestISAExtensionAccumulator(t *testing.T) {
+	// (OvFlo,Hi,Lo) accumulates three maddu products, then SHA shifts.
+	c, _ := runProg(t, `
+		li    $t0, 0xffffffff
+		mthi  $zero
+		mtlo  $zero
+		maddu $t0, $t0
+		maddu $t0, $t0
+		maddu $t0, $t0
+		mflo  $t2
+		sha
+		mflo  $t3
+		sha
+		mflo  $t4
+		halt
+	`)
+	// 3 * 0xffffffff^2 = 3*0xfffffffe00000001 = 0x2_fffffffa_00000003
+	if c.Regs[10] != 0x00000003 {
+		t.Errorf("acc lo = %#x", c.Regs[10])
+	}
+	if c.Regs[11] != 0xfffffffa {
+		t.Errorf("acc mid = %#x", c.Regs[11])
+	}
+	if c.Regs[12] != 0x2 {
+		t.Errorf("acc ovflo = %#x", c.Regs[12])
+	}
+}
+
+func TestM2ADDUDoubles(t *testing.T) {
+	c, _ := runProg(t, `
+		li     $t0, 0x80000000
+		li     $t1, 2
+		mthi   $zero
+		mtlo   $zero
+		m2addu $t0, $t1
+		mflo   $t2
+		sha
+		mflo   $t3
+		halt
+	`)
+	// 2 * (0x80000000 * 2) = 0x2_00000000
+	if c.Regs[10] != 0 || c.Regs[11] != 2 {
+		t.Errorf("m2addu: lo=%#x hi=%#x", c.Regs[10], c.Regs[11])
+	}
+}
+
+func TestADDAU(t *testing.T) {
+	c, _ := runProg(t, `
+		li    $t0, 5
+		li    $t1, 9
+		mthi  $zero
+		mtlo  $zero
+		addau $t0, $t1
+		mflo  $t2
+		mfhi  $t3
+		halt
+	`)
+	// (5 << 32) + 9
+	if c.Regs[10] != 9 || c.Regs[11] != 5 {
+		t.Errorf("addau: lo=%d hi=%d", c.Regs[10], c.Regs[11])
+	}
+}
+
+func TestMULGF2(t *testing.T) {
+	c, _ := runProg(t, `
+		li     $t0, 0x7
+		li     $t1, 0x5
+		mulgf2 $t0, $t1
+		mflo   $t2
+		halt
+	`)
+	// (x^2+x+1)(x^2+1) = x^4+x^3+x^2 + x^2+x+1 = x^4+x^3+x+1 = 0x1b
+	if c.Regs[10] != 0x1b {
+		t.Errorf("mulgf2: %#x, want 0x1b", c.Regs[10])
+	}
+}
+
+func TestLoadStoreAndBytes(t *testing.T) {
+	c, _ := runProg(t, `
+		li  $t0, 0x10000000
+		li  $t1, 0x11223344
+		sw  $t1, 0($t0)
+		lw  $t2, 0($t0)
+		lb  $t3, 0($t0)
+		lbu $t4, 3($t0)
+		lh  $t5, 0($t0)
+		lhu $t6, 2($t0)
+		sb  $zero, 1($t0)
+		lw  $t7, 0($t0)
+		halt
+	`)
+	if c.Regs[10] != 0x11223344 {
+		t.Errorf("lw: %#x", c.Regs[10])
+	}
+	if c.Regs[11] != 0x44 { // little-endian byte 0, sign-extended 0x44
+		t.Errorf("lb: %#x", c.Regs[11])
+	}
+	if c.Regs[12] != 0x11 {
+		t.Errorf("lbu: %#x", c.Regs[12])
+	}
+	if c.Regs[13] != 0x3344 {
+		t.Errorf("lh: %#x", c.Regs[13])
+	}
+	if c.Regs[14] != 0x1122 {
+		t.Errorf("lhu: %#x", c.Regs[14])
+	}
+	if c.Regs[15] != 0x11220044 {
+		t.Errorf("sb: %#x", c.Regs[15])
+	}
+}
+
+func TestLoadUseStall(t *testing.T) {
+	use := `
+		li  $t0, 0x10000000
+		lw  $t1, 0($t0)
+		addu $t2, $t1, $t1
+		halt
+	`
+	noUse := `
+		li  $t0, 0x10000000
+		lw  $t1, 0($t0)
+		addu $t2, $t0, $t0
+		halt
+	`
+	_, s1 := runProg(t, use)
+	_, s2 := runProg(t, noUse)
+	if s1.LoadUseStalls != 1 {
+		t.Errorf("load-use stalls = %d, want 1", s1.LoadUseStalls)
+	}
+	if s2.LoadUseStalls != 0 {
+		t.Errorf("independent op should not stall, got %d", s2.LoadUseStalls)
+	}
+}
+
+func TestBranchDelaySlot(t *testing.T) {
+	// The instruction in the delay slot executes even when the branch
+	// is taken.
+	c, _ := runProg(t, `
+		li   $t0, 1
+		b    target
+		addiu $t1, $zero, 42   # delay slot: executes
+		addiu $t2, $zero, 99   # skipped
+target: halt
+	`)
+	if c.Regs[9] != 42 {
+		t.Errorf("delay slot did not execute: $t1=%d", c.Regs[9])
+	}
+	if c.Regs[10] == 99 {
+		t.Error("branch target skipped")
+	}
+}
+
+func TestBranchPredictorPenalty(t *testing.T) {
+	// A backward loop branch is predicted taken: the final
+	// fall-through costs one flush; the taken iterations cost none.
+	_, s := runProg(t, `
+		li   $t0, 10
+loop:	addiu $t0, $t0, -1
+		bne  $t0, $zero, loop
+		nop
+		halt
+	`)
+	if s.BranchFlushes != 1 {
+		t.Errorf("backward loop should mispredict once (exit), got %d", s.BranchFlushes)
+	}
+}
+
+func TestJALAndJR(t *testing.T) {
+	c, _ := runProg(t, `
+		jal  func
+		nop
+		li   $t5, 7      # runs after return
+		halt
+func:	li   $t4, 3
+		jr   $ra
+		nop
+	`)
+	if c.Regs[12] != 3 || c.Regs[13] != 7 {
+		t.Errorf("call/return failed: t4=%d t5=%d", c.Regs[12], c.Regs[13])
+	}
+}
+
+func TestSLTVariants(t *testing.T) {
+	c, _ := runProg(t, `
+		li    $t0, -1
+		li    $t1, 1
+		slt   $t2, $t0, $t1
+		sltu  $t3, $t0, $t1
+		slti  $t4, $t0, 0
+		sltiu $t5, $t1, 2
+		halt
+	`)
+	if c.Regs[10] != 1 || c.Regs[11] != 0 || c.Regs[12] != 1 || c.Regs[13] != 1 {
+		t.Errorf("slt variants: %v", c.Regs[10:14])
+	}
+}
+
+func TestRunGuards(t *testing.T) {
+	prog, _ := asm.Assemble("nop\nnop\nhalt")
+	m := mem.NewSystem()
+	c := New(DefaultConfig(), m)
+	c.Load(prog.Insts)
+	if _, err := c.Run(0, 1); err == nil {
+		t.Error("instruction budget should trip")
+	}
+	c.Reset()
+	if _, err := c.Run(99, 10); err == nil {
+		t.Error("out-of-range entry should error")
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	_, s := runProg(t, `
+		li   $t0, 100
+loop:	addiu $t0, $t0, -1
+		bne  $t0, $zero, loop
+		nop
+		halt
+	`)
+	if s.Cycles < s.Insts {
+		t.Errorf("cycles %d < insts %d", s.Cycles, s.Insts)
+	}
+	if s.Insts != 2+100*3 {
+		t.Errorf("inst count %d, want 302", s.Insts)
+	}
+}

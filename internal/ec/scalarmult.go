@@ -1,0 +1,275 @@
+package ec
+
+import "repro/internal/mp"
+
+// Scalar multiplication algorithms (Section 4.1): a signed sliding-window
+// method with a small table of odd multiples for single multiplications
+// (signatures), joint-sparse-form twin multiplication for verification,
+// and the Montgomery ladder the paper evaluated for Billie (and found
+// slower than the sliding window, Figure 7.14).
+
+// wnaf recodes scalar x into width-w non-adjacent form: a digit stream
+// (least significant first) of zeros and odd digits |d| < 2^(w-1).
+func wnaf(x mp.Int, w uint) []int8 {
+	// Work on a mutable copy with one spare word of headroom.
+	v := make(mp.Int, len(x)+1)
+	copy(v, x)
+	var out []int8
+	mod := uint32(1) << w
+	half := int32(1) << (w - 1)
+	for !v.IsZero() {
+		var d int32
+		if v.IsOdd() {
+			d = int32(v[0] & (mod - 1))
+			if d >= half {
+				d -= int32(mod)
+			}
+			if d > 0 {
+				subSmall(v, uint32(d))
+			} else {
+				addSmall(v, uint32(-d))
+			}
+		}
+		out = append(out, int8(d))
+		mp.Shr1(v, v)
+	}
+	return out
+}
+
+func subSmall(v mp.Int, d uint32) {
+	var borrow uint64
+	b := uint64(d)
+	for i := range v {
+		t := uint64(v[i]) - b - borrow
+		v[i] = uint32(t)
+		borrow = (t >> 32) & 1
+		b = 0
+		if borrow == 0 {
+			break
+		}
+	}
+}
+
+func addSmall(v mp.Int, d uint32) {
+	var carry uint64
+	c := uint64(d)
+	for i := range v {
+		t := uint64(v[i]) + c + carry
+		v[i] = uint32(t)
+		carry = t >> 32
+		c = 0
+		if carry == 0 {
+			break
+		}
+	}
+}
+
+// WindowWidth is the sliding-window width used for single scalar
+// multiplication. Width 4 precomputes the odd multiples 3P, 5P, 7P.
+const WindowWidth = 4
+
+// ScalarMult computes x·P with the signed sliding-window method.
+func (c *PrimeCurve) ScalarMult(x mp.Int, p *AffinePoint) *AffinePoint {
+	digits := wnaf(x, WindowWidth)
+	// Precompute odd multiples P, 3P, 5P, 7P (affine, via the cheap
+	// table path — in the real software these are computed once per
+	// scalar multiplication).
+	table := c.oddMultiples(p, 1<<(WindowWidth-1))
+	neg := make([]*AffinePoint, len(table))
+	for i, t := range table {
+		neg[i] = c.NegAffine(t)
+	}
+	q := c.NewJacobian()
+	for i := len(digits) - 1; i >= 0; i-- {
+		c.Dbl(q, q)
+		d := digits[i]
+		if d > 0 {
+			c.AddMixed(q, q, table[d/2])
+		} else if d < 0 {
+			c.AddMixed(q, q, neg[(-d)/2])
+		}
+	}
+	return c.ToAffine(q)
+}
+
+// oddMultiples returns [P, 3P, 5P, ...] with n entries. The multiples are
+// accumulated in Jacobian coordinates and converted to affine with a single
+// shared inversion (Montgomery's simultaneous-inversion trick) — the way
+// the paper's software builds its 3P/5P window table without paying one
+// field inversion per point.
+func (c *PrimeCurve) oddMultiples(p *AffinePoint, n int) []*AffinePoint {
+	table := make([]*AffinePoint, n)
+	table[0] = p
+	if n == 1 {
+		return table
+	}
+	twoJ := c.NewJacobian()
+	c.Dbl(twoJ, c.FromAffine(p))
+	twoP := c.ToAffine(twoJ) // one inversion for 2P
+	js := make([]*JacobianPoint, n-1)
+	cur := c.FromAffine(p)
+	for i := 1; i < n; i++ {
+		next := c.NewJacobian()
+		c.AddMixed(next, cur, twoP)
+		js[i-1] = next
+		cur = next
+	}
+	aff := c.BatchToAffine(js) // one inversion for the whole table
+	copy(table[1:], aff)
+	return table
+}
+
+// BatchToAffine converts Jacobian points to affine with one shared field
+// inversion (3 extra multiplications per point).
+func (c *PrimeCurve) BatchToAffine(ps []*JacobianPoint) []*AffinePoint {
+	f := c.F
+	k := f.K
+	out := make([]*AffinePoint, len(ps))
+	// Prefix products of the Z coordinates, skipping infinities.
+	prefix := make([]mp.Int, len(ps))
+	acc := f.One.Clone()
+	for i, p := range ps {
+		prefix[i] = acc.Clone()
+		if !p.IsInf() {
+			t := mp.New(k)
+			f.Mul(t, acc, p.Z)
+			acc = t
+		}
+	}
+	inv := mp.New(k)
+	f.Inv(inv, acc)
+	c.Ops.ToAffine++
+	for i := len(ps) - 1; i >= 0; i-- {
+		p := ps[i]
+		if p.IsInf() {
+			out[i] = &AffinePoint{X: mp.New(k), Y: mp.New(k), Inf: true}
+			continue
+		}
+		zi := mp.New(k)
+		f.Mul(zi, inv, prefix[i]) // 1/Z_i
+		t := mp.New(k)
+		f.Mul(t, inv, p.Z) // strip Z_i from the running inverse
+		copy(inv, t)
+		zi2 := mp.New(k)
+		f.Sqr(zi2, zi)
+		x := mp.New(k)
+		f.Mul(x, p.X, zi2)
+		zi3 := mp.New(k)
+		f.Mul(zi3, zi2, zi)
+		y := mp.New(k)
+		f.Mul(y, p.Y, zi3)
+		out[i] = &AffinePoint{X: x, Y: y}
+	}
+	return out
+}
+
+// jsf computes the joint sparse form of scalars k0 and k1 (Solinas; Guide
+// to ECC Algorithm 3.50): two digit streams over {-1, 0, 1}, least
+// significant first, with joint density 1/2.
+func jsf(k0, k1 mp.Int) (d0, d1 []int8) {
+	a := make(mp.Int, len(k0)+1)
+	copy(a, k0)
+	b := make(mp.Int, len(k1)+1)
+	copy(b, k1)
+	var l0, l1 int8
+	for !a.IsZero() || !b.IsZero() || l0 != 0 || l1 != 0 {
+		// d = (l + x) mod 4 tracking via explicit carries l0, l1.
+		m0 := int8(a[0]&7) + l0 // low 3 bits plus carry
+		m1 := int8(b[0]&7) + l1
+		var u0, u1 int8
+		if m0&1 != 0 {
+			u0 = 2 - (m0 & 3)
+			if (m0&7 == 3 || m0&7 == 5) && m1&3 == 2 {
+				u0 = -u0
+			}
+		}
+		if m1&1 != 0 {
+			u1 = 2 - (m1 & 3)
+			if (m1&7 == 3 || m1&7 == 5) && m0&3 == 2 {
+				u1 = -u1
+			}
+		}
+		d0 = append(d0, u0)
+		d1 = append(d1, u1)
+		// a = (a + l0 - u0) / 2, tracked with small carries.
+		l0 = shiftWithDigit(a, l0, u0)
+		l1 = shiftWithDigit(b, l1, u1)
+	}
+	return d0, d1
+}
+
+// shiftWithDigit computes v' = (v + carryIn - d)/2 where carryIn-d is in
+// {-2..2}; returns the new small carry so v stays non-negative.
+func shiftWithDigit(v mp.Int, carryIn, d int8) int8 {
+	adj := int32(carryIn) - int32(d)
+	switch {
+	case adj > 0:
+		addSmall(v, uint32(adj))
+	case adj < 0:
+		// v + adj may momentarily dip negative only if v == 0 and
+		// adj < 0, which JSF never produces for valid digits.
+		subSmall(v, uint32(-adj))
+	}
+	if v.IsOdd() {
+		panic("ec: JSF internal error — odd after digit subtraction")
+	}
+	mp.Shr1(v, v)
+	return 0
+}
+
+// TwinMult computes u0·P + u1·Q with JSF twin multiplication using the
+// precomputed points P+Q and P−Q (Section 4.1).
+func (c *PrimeCurve) TwinMult(u0 mp.Int, p *AffinePoint, u1 mp.Int, q *AffinePoint) *AffinePoint {
+	d0, d1 := jsf(u0, u1)
+	sum := c.AddAffine(p, q)               // P+Q
+	diff := c.AddAffine(p, c.NegAffine(q)) // P−Q
+	negP := c.NegAffine(p)
+	negQ := c.NegAffine(q)
+	negSum := c.NegAffine(sum)
+	negDiff := c.NegAffine(diff)
+	pick := func(a, b int8) *AffinePoint {
+		switch {
+		case a == 1 && b == 1:
+			return sum
+		case a == 1 && b == 0:
+			return p
+		case a == 1 && b == -1:
+			return diff
+		case a == 0 && b == 1:
+			return q
+		case a == 0 && b == -1:
+			return negQ
+		case a == -1 && b == 1:
+			return negDiff
+		case a == -1 && b == 0:
+			return negP
+		case a == -1 && b == -1:
+			return negSum
+		}
+		return nil
+	}
+	r := c.NewJacobian()
+	n := len(d0)
+	if len(d1) > n {
+		n = len(d1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		c.Dbl(r, r)
+		var a, b int8
+		if i < len(d0) {
+			a = d0[i]
+		}
+		if i < len(d1) {
+			b = d1[i]
+		}
+		if t := pick(a, b); t != nil {
+			c.AddMixed(r, r, t)
+		}
+	}
+	return c.ToAffine(r)
+}
+
+// ScalarBaseMult computes x·G.
+func (c *PrimeCurve) ScalarBaseMult(x mp.Int) *AffinePoint {
+	return c.ScalarMult(x, c.Generator())
+}

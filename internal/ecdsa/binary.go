@@ -1,0 +1,99 @@
+package ecdsa
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+
+	"repro/internal/ec"
+	"repro/internal/mp"
+)
+
+// BinaryPrivateKey is an ECDSA private key on a NIST binary curve.
+// The scalar arithmetic modulo the group order is ordinary prime-field
+// (integer) arithmetic even though the curve arithmetic is carry-less —
+// which is why ECDSA "still requires prime-field mathematics"
+// (Section 2.1.4) and why Billie leaves the protocol arithmetic on Pete.
+type BinaryPrivateKey struct {
+	Curve *ec.BinaryCurve
+	D     mp.Int
+	Q     *ec.BinaryAffinePoint
+}
+
+func binaryOrder(curve *ec.BinaryCurve) mp.Int { return mp.Int(curve.N) }
+
+// GenerateBinaryKey derives a deterministic key pair on a binary curve.
+func GenerateBinaryKey(curve *ec.BinaryCurve, seed []byte) *BinaryPrivateKey {
+	n := binaryOrder(curve)
+	d := hashToScalar(seed, n)
+	q := curve.ScalarMult(d, curve.Generator())
+	return &BinaryPrivateKey{Curve: curve, D: d, Q: q}
+}
+
+// SignBinary produces an ECDSA signature over digest on a binary curve.
+func SignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, error) {
+	curve := priv.Curve
+	n := binaryOrder(curve)
+	of := orderField(curve.Name, n, curve.NBits)
+	e := hashToE(digest, n)
+	for attempt := 0; attempt < 64; attempt++ {
+		mac := hmac.New(sha256.New, priv.D.Bytes())
+		mac.Write(e.Bytes())
+		mac.Write([]byte{byte(attempt)})
+		k := hashToScalar(mac.Sum(nil), n)
+		R := curve.ScalarMult(k, curve.Generator())
+		// r = int(R.x) mod n: the field element's bit pattern is
+		// interpreted as an integer (FIPS 186 conversion).
+		r := mp.New(len(n))
+		xi := mp.Int(make([]uint32, len(R.X)))
+		copy(xi, R.X)
+		copyTruncate(r, xi)
+		for mp.Cmp(r, n) >= 0 {
+			mp.Sub(r, r, n)
+		}
+		if r.IsZero() {
+			continue
+		}
+		rd := mp.New(of.K)
+		of.Mul(rd, r, priv.D)
+		s := mp.New(of.K)
+		of.Add(s, rd, e)
+		kinv := mp.New(of.K)
+		of.Inv(kinv, k)
+		of.Mul(s, s, kinv)
+		if s.IsZero() {
+			continue
+		}
+		return &Signature{R: r, S: s}, nil
+	}
+	return nil, errors.New("ecdsa: could not produce a binary-curve signature")
+}
+
+// VerifyBinary checks an ECDSA signature on a binary curve.
+func VerifyBinary(curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, digest []byte, sig *Signature) bool {
+	n := binaryOrder(curve)
+	if sig.R.IsZero() || sig.S.IsZero() ||
+		mp.Cmp(sig.R, n) >= 0 || mp.Cmp(sig.S, n) >= 0 {
+		return false
+	}
+	of := orderField(curve.Name, n, curve.NBits)
+	e := hashToE(digest, n)
+	w := mp.New(of.K)
+	of.Inv(w, sig.S)
+	u1 := mp.New(of.K)
+	of.Mul(u1, e, w)
+	u2 := mp.New(of.K)
+	of.Mul(u2, sig.R, w)
+	X := curve.TwinMult(u1, curve.Generator(), u2, pub)
+	if X.Inf {
+		return false
+	}
+	v := mp.New(len(n))
+	xi := mp.Int(make([]uint32, len(X.X)))
+	copy(xi, X.X)
+	copyTruncate(v, xi)
+	for mp.Cmp(v, n) >= 0 {
+		mp.Sub(v, v, n)
+	}
+	return mp.Cmp(v, sig.R) == 0
+}

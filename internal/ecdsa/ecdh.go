@@ -1,0 +1,66 @@
+package ecdsa
+
+import (
+	"crypto/sha256"
+	"errors"
+
+	"repro/internal/ec"
+)
+
+// Elliptic-curve Diffie-Hellman — the "session key establishment for
+// secure communications" use the paper's introduction motivates: a single
+// scalar point multiplication per side, after which traffic switches to
+// symmetric encryption (Section 2.1.1's amortization argument).
+
+// ECDH computes the shared secret d·Q on a prime curve and derives a
+// 256-bit session key from the shared x-coordinate.
+func ECDH(priv *PrivateKey, peer *ec.AffinePoint) ([]byte, error) {
+	if peer.Inf || !priv.Curve.OnCurve(peer) {
+		return nil, errors.New("ecdh: peer public key not on curve")
+	}
+	shared := priv.Curve.ScalarMult(priv.D, peer)
+	if shared.Inf {
+		return nil, errors.New("ecdh: degenerate shared point")
+	}
+	key := sha256.Sum256(shared.X.Bytes())
+	return key[:], nil
+}
+
+// ECDHBinary is the binary-curve variant; the session key is derived from
+// the fixed-width big-endian encoding of the shared x-coordinate.
+func ECDHBinary(priv *BinaryPrivateKey, peer *ec.BinaryAffinePoint) ([]byte, error) {
+	if peer.Inf || !priv.Curve.OnCurve(peer) {
+		return nil, errors.New("ecdh: peer public key not on curve")
+	}
+	shared := priv.Curve.ScalarMult(priv.D, peer)
+	if shared.Inf {
+		return nil, errors.New("ecdh: degenerate shared point")
+	}
+	buf := make([]byte, 4*len(shared.X))
+	for i, w := range shared.X {
+		off := len(buf) - 4*(i+1)
+		buf[off] = byte(w >> 24)
+		buf[off+1] = byte(w >> 16)
+		buf[off+2] = byte(w >> 8)
+		buf[off+3] = byte(w)
+	}
+	key := sha256.Sum256(buf)
+	return key[:], nil
+}
+
+// ECDHProfile is the operation census of one ECDH key agreement (one
+// scalar multiplication), for the simulation layer.
+func ECDHProfile(priv *PrivateKey, peer *ec.AffinePoint) (OpProfile, error) {
+	curve := priv.Curve
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	if _, err := ECDH(priv, peer); err != nil {
+		return OpProfile{}, err
+	}
+	return OpProfile{
+		Field:     curve.F.Counters,
+		Point:     curve.Ops,
+		FieldBits: curve.F.Bits,
+		OrderBits: curve.NBits,
+	}, nil
+}

@@ -1,0 +1,85 @@
+package ecdsa
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/ec"
+	"repro/internal/gf2"
+	"repro/internal/mp"
+)
+
+func TestECDHAgreement(t *testing.T) {
+	for _, name := range []string{"P-192", "P-256", "P-521"} {
+		curve := ec.NISTPrimeCurve(name, mp.PSNIST)
+		alice := GenerateKey(curve, []byte("alice-"+name))
+		bob := GenerateKey(curve, []byte("bob-"+name))
+		k1, err := ECDH(alice, bob.Q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		k2, err := ECDH(bob, alice.Q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(k1, k2) {
+			t.Errorf("%s: shared keys disagree", name)
+		}
+		eve := GenerateKey(curve, []byte("eve-"+name))
+		k3, _ := ECDH(eve, bob.Q)
+		if bytes.Equal(k1, k3) {
+			t.Errorf("%s: eavesdropper derived the session key", name)
+		}
+	}
+}
+
+func TestECDHBinaryAgreement(t *testing.T) {
+	for _, name := range []string{"B-163", "B-283"} {
+		curve := ec.NISTBinaryCurve(name, gf2.CLMul)
+		alice := GenerateBinaryKey(curve, []byte("alice-"+name))
+		bob := GenerateBinaryKey(curve, []byte("bob-"+name))
+		k1, err := ECDHBinary(alice, bob.Q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		k2, err := ECDHBinary(bob, alice.Q)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(k1, k2) {
+			t.Errorf("%s: shared keys disagree", name)
+		}
+	}
+}
+
+func TestECDHRejectsInvalidPeer(t *testing.T) {
+	curve := ec.NISTPrimeCurve("P-192", mp.PSNIST)
+	priv := GenerateKey(curve, []byte("k"))
+	// A point off the curve (x = y = 1 is not on P-192).
+	bad := &ec.AffinePoint{X: curve.F.One.Clone(), Y: curve.F.One.Clone()}
+	if _, err := ECDH(priv, bad); err == nil {
+		t.Error("off-curve peer accepted")
+	}
+	inf := &ec.AffinePoint{X: mp.New(curve.F.K), Y: mp.New(curve.F.K), Inf: true}
+	if _, err := ECDH(priv, inf); err == nil {
+		t.Error("point at infinity accepted")
+	}
+}
+
+func TestECDHProfileCountsOps(t *testing.T) {
+	curve := ec.NISTPrimeCurve("P-224", mp.PSNIST)
+	alice := GenerateKey(curve, []byte("a"))
+	bob := GenerateKey(curve, []byte("b"))
+	prof, err := ECDHProfile(alice, bob.Q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof.Field.Mul == 0 || prof.Point.Dbl == 0 {
+		t.Errorf("profile did not capture the scalar multiplication: %+v", prof)
+	}
+	// One key agreement ~ one scalar multiplication: roughly nbits
+	// doublings.
+	if prof.Point.Dbl < uint64(curve.NBits)-10 || prof.Point.Dbl > uint64(curve.NBits)+10 {
+		t.Errorf("doubling count %d far from %d", prof.Point.Dbl, curve.NBits)
+	}
+}

@@ -1,0 +1,202 @@
+// Package ecdsa implements the Elliptic Curve Digital Signature Algorithm
+// (FIPS 186) over the NIST prime and binary curves — the benchmark workload
+// of the paper (Section 4.1). A signature costs one single scalar point
+// multiplication; a verification costs one twin scalar point
+// multiplication; both also perform arithmetic modulo the group order,
+// which always stays on the processor ("Pete") even in the accelerated
+// configurations (a key Amdahl's-law observation of Section 7.3).
+package ecdsa
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"errors"
+
+	"repro/internal/ec"
+	"repro/internal/mp"
+)
+
+// PrivateKey is an ECDSA private key on a prime curve.
+type PrivateKey struct {
+	Curve *ec.PrimeCurve
+	D     mp.Int          // secret scalar
+	Q     *ec.AffinePoint // public point D*G
+}
+
+// Signature is an (r, s) ECDSA signature.
+type Signature struct {
+	R, S mp.Int
+}
+
+// orderFields caches the per-curve group-order fields so the operation
+// profiler can read their counters after a Sign/Verify.
+var orderFields = map[string]*mp.Field{}
+
+// orderField returns a Montgomery field for arithmetic modulo the group
+// order n (no NIST fast reduction exists for the orders).
+func orderField(name string, n mp.Int, bits int) *mp.Field {
+	if f, ok := orderFields[name]; ok {
+		return f
+	}
+	f := mp.NewField("order-"+name, bits, n, mp.CIOS)
+	orderFields[name] = f
+	return f
+}
+
+// resetOrderCounters zeroes the cached order field's counters (profiler).
+func resetOrderCounters(name string) {
+	if f, ok := orderFields[name]; ok {
+		f.Counters.Reset()
+	}
+}
+
+// orderCounters reads the cached order field's counters (profiler).
+func orderCounters(name string) mp.OpCounters {
+	if f, ok := orderFields[name]; ok {
+		return f.Counters
+	}
+	return mp.OpCounters{}
+}
+
+// GenerateKey derives a private key deterministically from seed material —
+// the simulated embedded system has no OS entropy source, matching the
+// paper's bare-metal environment (Section 4.3).
+func GenerateKey(curve *ec.PrimeCurve, seed []byte) *PrivateKey {
+	n := curve.N
+	d := hashToScalar(seed, n)
+	q := curve.ScalarBaseMult(d)
+	return &PrivateKey{Curve: curve, D: d, Q: q}
+}
+
+// hashToScalar maps bytes to a nonzero scalar in [1, n-1].
+func hashToScalar(b []byte, n mp.Int) mp.Int {
+	ctr := byte(0)
+	for {
+		h := sha256.New()
+		h.Write([]byte{ctr})
+		h.Write(b)
+		sum := h.Sum(nil)
+		// Widen to the order size by chained hashing.
+		for len(sum) < 4*len(n) {
+			h2 := sha256.New()
+			h2.Write(sum)
+			sum = append(sum, h2.Sum(nil)...)
+		}
+		d := mp.FromBytes(sum[:4*len(n)], len(n))
+		// Clamp below n by clearing top bits.
+		topBits := uint(n.BitLen() % 32)
+		if topBits != 0 {
+			d[(n.BitLen()-1)/32] &= (1 << topBits) - 1
+			for i := (n.BitLen() + 31) / 32; i < len(d); i++ {
+				d[i] = 0
+			}
+		}
+		if !d.IsZero() && mp.Cmp(d, n) < 0 {
+			return d
+		}
+		ctr++
+	}
+}
+
+// nonce derives a deterministic per-message nonce k (RFC-6979-style HMAC
+// construction) so the workload is reproducible run to run.
+func nonce(d mp.Int, e mp.Int, n mp.Int) mp.Int {
+	mac := hmac.New(sha256.New, d.Bytes())
+	mac.Write(e.Bytes())
+	return hashToScalar(mac.Sum(nil), n)
+}
+
+// hashToE truncates a message digest to the order's bit length (FIPS 186
+// bits2int).
+func hashToE(digest []byte, n mp.Int) mp.Int {
+	nb := n.BitLen()
+	e := mp.FromBytes(digest, len(n))
+	// If the digest is longer than n, use the leftmost bits.
+	db := 8 * len(digest)
+	if db > nb {
+		shift := db - nb
+		for s := 0; s < shift; s++ {
+			mp.Shr1(e, e)
+		}
+	}
+	for mp.Cmp(e, n) >= 0 {
+		mp.Sub(e, e, n)
+	}
+	return e
+}
+
+// Sign produces an ECDSA signature over digest (already hashed message).
+func Sign(priv *PrivateKey, digest []byte) (*Signature, error) {
+	curve := priv.Curve
+	n := curve.N
+	of := orderField(curve.Name, n, curve.NBits)
+	e := hashToE(digest, n)
+	for attempt := 0; attempt < 64; attempt++ {
+		k := nonce(priv.D, e, n)
+		if attempt > 0 {
+			extra := append(k.Bytes(), byte(attempt))
+			k = hashToScalar(extra, n)
+		}
+		// R = k*G; r = R.x mod n.
+		R := curve.ScalarBaseMult(k)
+		r := mp.New(len(n))
+		copyTruncate(r, R.X)
+		for mp.Cmp(r, n) >= 0 {
+			mp.Sub(r, r, n)
+		}
+		if r.IsZero() {
+			continue
+		}
+		// s = k^-1 (e + r d) mod n — the "protocol arithmetic modulo
+		// the group order" that stays on Pete (Section 4.1).
+		rd := mp.New(of.K)
+		of.Mul(rd, r, priv.D)
+		s := mp.New(of.K)
+		of.Add(s, rd, e)
+		kinv := mp.New(of.K)
+		of.Inv(kinv, k)
+		of.Mul(s, s, kinv)
+		if s.IsZero() {
+			continue
+		}
+		return &Signature{R: r, S: s}, nil
+	}
+	return nil, errors.New("ecdsa: could not produce a signature")
+}
+
+// copyTruncate copies src into dst (dst may be shorter).
+func copyTruncate(dst, src mp.Int) {
+	for i := range dst {
+		if i < len(src) {
+			dst[i] = src[i]
+		}
+	}
+}
+
+// Verify checks an ECDSA signature over digest.
+func Verify(curve *ec.PrimeCurve, pub *ec.AffinePoint, digest []byte, sig *Signature) bool {
+	n := curve.N
+	if sig.R.IsZero() || sig.S.IsZero() ||
+		mp.Cmp(sig.R, n) >= 0 || mp.Cmp(sig.S, n) >= 0 {
+		return false
+	}
+	of := orderField(curve.Name, n, curve.NBits)
+	e := hashToE(digest, n)
+	w := mp.New(of.K)
+	of.Inv(w, sig.S)
+	u1 := mp.New(of.K)
+	of.Mul(u1, e, w)
+	u2 := mp.New(of.K)
+	of.Mul(u2, sig.R, w)
+	// X = u1*G + u2*Q via twin multiplication (Section 4.1).
+	X := curve.TwinMult(u1, curve.Generator(), u2, pub)
+	if X.Inf {
+		return false
+	}
+	v := mp.New(len(n))
+	copyTruncate(v, X.X)
+	for mp.Cmp(v, n) >= 0 {
+		mp.Sub(v, v, n)
+	}
+	return mp.Cmp(v, sig.R) == 0
+}

@@ -1,0 +1,112 @@
+package ecdsa
+
+import (
+	"repro/internal/ec"
+	"repro/internal/mp"
+)
+
+// OpProfile is the exact operation census of one ECDSA operation: how many
+// curve-field operations, point operations, and group-order ("protocol")
+// operations ran. The simulation layer prices these counts with the
+// per-operation cycle costs measured on the Pete simulator or on the
+// accelerator models — the hierarchical methodology of Figure 4.1.
+type OpProfile struct {
+	Field     mp.OpCounters      // curve-field ops (prime curves)
+	Order     mp.OpCounters      // arithmetic modulo the group order
+	Point     ec.PointOpCounters // point doubles/adds
+	FieldBits int
+	OrderBits int
+}
+
+// ProfileSign runs Sign while recording the operation census.
+func ProfileSign(priv *PrivateKey, digest []byte) (*Signature, OpProfile, error) {
+	curve := priv.Curve
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	resetOrderCounters(curve.Name)
+	sig, err := Sign(priv, digest)
+	p := OpProfile{
+		Field:     curve.F.Counters,
+		Order:     orderCounters(curve.Name),
+		Point:     curve.Ops,
+		FieldBits: curve.F.Bits,
+		OrderBits: curve.NBits,
+	}
+	return sig, p, err
+}
+
+// ProfileVerify runs Verify while recording the operation census.
+func ProfileVerify(curve *ec.PrimeCurve, pub *ec.AffinePoint, digest []byte, sig *Signature) (bool, OpProfile) {
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	resetOrderCounters(curve.Name)
+	ok := Verify(curve, pub, digest, sig)
+	p := OpProfile{
+		Field:     curve.F.Counters,
+		Order:     orderCounters(curve.Name),
+		Point:     curve.Ops,
+		FieldBits: curve.F.Bits,
+		OrderBits: curve.NBits,
+	}
+	return ok, p
+}
+
+// BinaryOpProfile is the census for a binary-curve ECDSA operation; the
+// order arithmetic is still integer (prime-field) work (Section 2.1.4).
+type BinaryOpProfile struct {
+	Field     gf2OpCounters
+	Order     mp.OpCounters
+	Point     ec.PointOpCounters
+	FieldBits int
+	OrderBits int
+}
+
+// gf2OpCounters mirrors gf2.OpCounters without importing it here (the sim
+// layer converts); kept minimal.
+type gf2OpCounters struct {
+	Mul, Sqr, Add, Inv uint64
+}
+
+// ProfileSignBinary runs SignBinary while recording the census.
+func ProfileSignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, BinaryOpProfile, error) {
+	curve := priv.Curve
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	resetOrderCounters(curve.Name)
+	sig, err := SignBinary(priv, digest)
+	p := BinaryOpProfile{
+		Field: gf2OpCounters{
+			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
+			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
+		},
+		Order:     orderCounters(curve.Name),
+		Point:     curve.Ops,
+		FieldBits: curve.F.M,
+		OrderBits: curve.NBits,
+	}
+	return sig, p, err
+}
+
+// ProfileVerifyBinary runs VerifyBinary while recording the census.
+func ProfileVerifyBinary(curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, digest []byte, sig *Signature) (bool, BinaryOpProfile) {
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	resetOrderCounters(curve.Name)
+	ok := VerifyBinary(curve, pub, digest, sig)
+	p := BinaryOpProfile{
+		Field: gf2OpCounters{
+			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
+			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
+		},
+		Order:     orderCounters(curve.Name),
+		Point:     curve.Ops,
+		FieldBits: curve.F.M,
+		OrderBits: curve.NBits,
+	}
+	return ok, p
+}
+
+// Mul / Sqr / Add / Inv accessors for the sim layer.
+func (c gf2OpCounters) Counts() (mul, sqr, add, inv uint64) {
+	return c.Mul, c.Sqr, c.Add, c.Inv
+}

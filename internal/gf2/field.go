@@ -1,0 +1,283 @@
+package gf2
+
+import "fmt"
+
+// MulAlg selects the multiplication strategy the binary field uses,
+// mirroring the paper's software-only vs ISA-extended configurations.
+type MulAlg int
+
+const (
+	// Comb is the left-to-right comb method with 4-bit windows
+	// (software-only baseline, Algorithm 6).
+	Comb MulAlg = iota
+	// CLMul uses the MULGF2/MADDGF2 carry-less product scanning
+	// (ISA-extended).
+	CLMul
+)
+
+func (a MulAlg) String() string {
+	if a == Comb {
+		return "comb-w4"
+	}
+	return "clmul-ps"
+}
+
+// Field is a binary field GF(2^m) defined by an irreducible trinomial or
+// pentanomial f(x) = x^m + x^terms[0] + x^terms[1] + ... + 1.
+type Field struct {
+	Name  string
+	M     int   // extension degree
+	K     int   // words per element, ceil(m/32)
+	Terms []int // middle exponents of f, descending, excluding m and 0
+	Alg   MulAlg
+	One   Elem
+
+	// Counters tracks field-level operation counts for the
+	// latency/energy model.
+	Counters OpCounters
+}
+
+// OpCounters counts binary-field operations.
+type OpCounters struct {
+	Mul, Sqr, Add, Inv, Red uint64
+}
+
+// Reset zeroes the counters.
+func (c *OpCounters) Reset() { *c = OpCounters{} }
+
+// NIST binary fields (Equations 4.8–4.12).
+var nistBinary = map[string]struct {
+	m     int
+	terms []int
+}{
+	"B-163": {163, []int{7, 6, 3}},
+	"B-233": {233, []int{74}},
+	"B-283": {283, []int{12, 7, 5}},
+	"B-409": {409, []int{87}},
+	"B-571": {571, []int{10, 5, 2}},
+}
+
+// BinaryFieldNames lists the NIST binary fields in ascending security order.
+var BinaryFieldNames = []string{"B-163", "B-233", "B-283", "B-409", "B-571"}
+
+// NISTField returns a fresh Field for the named NIST binary field.
+func NISTField(name string, alg MulAlg) *Field {
+	def, ok := nistBinary[name]
+	if !ok {
+		panic("gf2: unknown NIST binary field " + name)
+	}
+	return NewField(name, def.m, def.terms, alg)
+}
+
+// NewField builds a binary field GF(2^m) with reduction polynomial
+// x^m + Σ x^terms + 1.
+func NewField(name string, m int, terms []int, alg MulAlg) *Field {
+	k := (m + 31) / 32
+	f := &Field{Name: name, M: m, K: k, Terms: append([]int(nil), terms...), Alg: alg}
+	f.One = New(k)
+	f.One[0] = 1
+	return f
+}
+
+// Add sets z = a + b mod f (XOR; no reduction needed).
+func (f *Field) Add(z, a, b Elem) {
+	f.Counters.Add++
+	Add(z, a, b)
+}
+
+// Mul sets z = a*b mod f.
+func (f *Field) Mul(z, a, b Elem) {
+	f.Counters.Mul++
+	c := make(Elem, 2*f.K)
+	if f.Alg == Comb {
+		MulComb(c, a, b)
+	} else {
+		MulCl(c, a, b)
+	}
+	f.Counters.Red++
+	f.ReduceFull(z, c)
+}
+
+// Sqr sets z = a^2 mod f.
+func (f *Field) Sqr(z, a Elem) {
+	f.Counters.Sqr++
+	c := make(Elem, 2*f.K)
+	if f.Alg == Comb {
+		SqrTable(c, a)
+	} else {
+		SqrCl(c, a)
+	}
+	f.Counters.Red++
+	f.ReduceFull(z, c)
+}
+
+// ReduceFull reduces a 2k-word polynomial c modulo f into z (k words).
+// It is the generic word-wise fold of the NIST fast-reduction routines
+// (e.g. Algorithm 7 for B-163): every bit at position m+j folds back to
+// positions j + e for e in {terms..., 0}.
+func (f *Field) ReduceFull(z Elem, c Elem) {
+	t := make(Elem, len(c))
+	copy(t, c)
+	m := f.M
+	// Process from the top word down; repeat in case folds re-set high
+	// bits (cannot happen for m+terms spread < 32... but the loop makes
+	// the routine correct for any f).
+	for {
+		top := -1
+		for i := len(t) - 1; i >= m/32; i-- {
+			if i == m/32 {
+				if t[i]>>(uint(m)%32) == 0 {
+					continue
+				}
+			}
+			if t[i] != 0 {
+				top = i
+				break
+			}
+		}
+		if top == -1 {
+			break
+		}
+		for i := top; i > m/32; i-- {
+			w := t[i]
+			if w == 0 {
+				continue
+			}
+			t[i] = 0
+			base := 32*i - m
+			for _, e := range append(f.Terms, 0) {
+				xorShifted(t, w, base+e)
+			}
+		}
+		// Handle the partial top word: bits m..(32*(m/32+1)-1).
+		i := m / 32
+		sh := uint(m) % 32
+		w := t[i] >> sh
+		if w != 0 {
+			t[i] &= (1 << sh) - 1
+			for _, e := range append(f.Terms, 0) {
+				xorShifted(t, w, e)
+			}
+		}
+	}
+	copy(z, t[:f.K])
+}
+
+// xorShifted xors the 32-bit value w, left-shifted by bit positions pos,
+// into t.
+func xorShifted(t Elem, w uint32, pos int) {
+	wi, sh := pos/32, uint(pos)%32
+	t[wi] ^= w << sh
+	if sh != 0 && wi+1 < len(t) {
+		t[wi+1] ^= w >> (32 - sh)
+	}
+}
+
+// Inv sets z = a^-1 mod f using the binary polynomial extended Euclidean
+// algorithm (Guide to ECC Algorithm 2.48) — the software inversion.
+func (f *Field) Inv(z, a Elem) {
+	f.Counters.Inv++
+	if a.IsZero() {
+		panic("gf2: inverse of zero")
+	}
+	k := f.K
+	u := a.Clone()
+	v := f.modulus()
+	g1 := New(k + 1)
+	g1[0] = 1
+	g2 := New(k + 1)
+	for !u.IsOne() && !v.IsOne() {
+		du, dv := u.Degree(), v.Degree()
+		if du < dv {
+			u, v = v, u
+			g1, g2 = g2, g1
+			du, dv = dv, du
+		}
+		j := du - dv
+		// u += x^j * v ; g1 += x^j * g2
+		xorPolyShift(u, v, j)
+		xorPolyShift(g1, g2, j)
+	}
+	if u.IsOne() {
+		f.ReduceFull(z, padTo(g1, 2*f.K))
+	} else {
+		f.ReduceFull(z, padTo(g2, 2*f.K))
+	}
+}
+
+// InvIT sets z = a^(2^m - 2) by an Itoh–Tsujii-style square-and-multiply
+// chain — the Fermat inversion Monte/Billie run (Section 4.2.4). It uses
+// the simple binary expansion of 2^m-2 = Σ_{i=1}^{m-1} 2^i: m-1 squarings
+// with m-2 multiplications, matching the O(k^3) software cost model.
+func (f *Field) InvIT(z, a Elem) {
+	f.Counters.Inv++
+	// Itoh–Tsujii addition chain: a^-1 = (a^(2^(m-1)-1))^2, where
+	// a^(2^n - 1) is built by recursive doubling of the exponent chain,
+	// giving ~log2(m) multiplications and m-1 squarings — cheap on
+	// hardware with single-cycle squaring (Billie, Section 5.5.3).
+	var build func(n int) Elem
+	build = func(n int) Elem {
+		if n == 1 {
+			return a.Clone()
+		}
+		if n%2 == 0 {
+			h := build(n / 2)
+			t := h.Clone()
+			for i := 0; i < n/2; i++ {
+				f.Sqr(t, t)
+			}
+			f.Mul(t, t, h)
+			return t
+		}
+		h := build(n - 1)
+		t := h.Clone()
+		f.Sqr(t, t)
+		f.Mul(t, t, a)
+		return t
+	}
+	r := build(f.M - 1) // a^(2^(m-1) - 1)
+	f.Sqr(r, r)         // squaring gives a^(2^m - 2) = a^-1
+	copy(z, r)
+}
+
+// modulus returns f(x) as a (k+1)-word polynomial.
+func (f *Field) modulus() Elem {
+	z := New(f.K + 1)
+	z[0] = 1
+	for _, e := range f.Terms {
+		z[e/32] |= 1 << (uint(e) % 32)
+	}
+	z[f.M/32] |= 1 << (uint(f.M) % 32)
+	return z
+}
+
+// xorPolyShift sets a ^= b << j (bit shift), in place; a must be long
+// enough.
+func xorPolyShift(a, b Elem, j int) {
+	wi, sh := j/32, uint(j)%32
+	for i := 0; i < len(b); i++ {
+		if b[i] == 0 {
+			continue
+		}
+		if i+wi < len(a) {
+			a[i+wi] ^= b[i] << sh
+		}
+		if sh != 0 && i+wi+1 < len(a) {
+			a[i+wi+1] ^= b[i] >> (32 - sh)
+		}
+	}
+}
+
+func padTo(a Elem, n int) Elem {
+	if len(a) >= n {
+		return a[:n]
+	}
+	z := New(n)
+	copy(z, a)
+	return z
+}
+
+// String describes the field.
+func (f *Field) String() string {
+	return fmt.Sprintf("GF(2^%d) [%s]", f.M, f.Name)
+}

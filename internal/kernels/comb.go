@@ -1,0 +1,157 @@
+package kernels
+
+// MulComb is the software-only binary-field multiplication (Algorithm 6):
+// left-to-right comb with 4-bit windows and a 16-entry precomputed table of
+// u(x)·b(x). This is the routine that makes binary ECC "impractical for
+// most embedded processors" without a carry-less multiplier (Section
+// 5.2.2) — the cycle count it produces versus MulGF2Ext is the source of
+// Figure 7.5's 6.4–8.5× gap.
+//
+// Args: $a0 = result (2k words), $a1 = a (k words), $a2 = b (k words),
+// $a3 = k. Scratch: the 16×(k+1)-word table lives at 0x10003000 and the
+// (2k+1)-word accumulator at 0x10003800.
+var MulComb = Build("mul_comb_sw", `
+        li    $s0, 0x10003000     # table base
+        li    $s1, 0x10003800     # accumulator C
+        addiu $s2, $a3, 1         # row words = k+1
+
+        # ---- precompute Bu for u = 0..15 ----
+        # row 0 = 0
+        move  $t0, $s0
+        move  $t1, $zero
+p0:     sw    $zero, 0($t0)
+        addiu $t0, $t0, 4
+        addiu $t1, $t1, 1
+        bne   $t1, $s2, p0
+        nop
+        # row 1 = b (zero-extended by one word)
+        move  $t2, $a2
+        move  $t1, $zero
+p1:     lw    $t3, 0($t2)
+        sw    $t3, 0($t0)
+        addiu $t0, $t0, 4
+        addiu $t2, $t2, 4
+        addiu $t1, $t1, 1
+        bne   $t1, $a3, p1
+        nop
+        sw    $zero, 0($t0)
+        addiu $t0, $t0, 4
+        # rows u = 2,4,..,14: row u = row u/2 << 1 ; row u+1 = row u ^ b
+        li    $t9, 2              # u
+prow:   # src = table + (u/2)*row_bytes ; dst = table + u*row_bytes
+        srl   $t1, $t9, 1
+        sll   $t2, $s2, 2         # row bytes
+        mult  $t1, $t2
+        mflo  $t3
+        addu  $t3, $s0, $t3       # src
+        mult  $t9, $t2
+        mflo  $t4
+        addu  $t4, $s0, $t4       # dst (row u)
+        addu  $t5, $t4, $t2       # dst2 (row u+1)
+        # shift-left-by-1 copy with carry, and xor b into row u+1
+        move  $t6, $zero          # carry
+        move  $t7, $zero          # word index
+        move  $s3, $a2            # b pointer
+prsh:   lw    $t0, 0($t3)
+        sll   $t1, $t0, 1
+        or    $t1, $t1, $t6
+        srl   $t6, $t0, 31
+        sw    $t1, 0($t4)
+        # row u+1 word = shifted ^ b[i] (b has only k words)
+        bne   $t7, $a3, prx
+        nop
+        sw    $t1, 0($t5)         # last word: no b to xor
+        b     prnext
+        nop
+prx:    lw    $t0, 0($s3)
+        xor   $t1, $t1, $t0
+        sw    $t1, 0($t5)
+        addiu $s3, $s3, 4
+prnext: addiu $t3, $t3, 4
+        addiu $t4, $t4, 4
+        addiu $t5, $t5, 4
+        addiu $t7, $t7, 1
+        bne   $t7, $s2, prsh
+        nop
+        addiu $t9, $t9, 2
+        li    $t0, 16
+        bne   $t9, $t0, prow
+        nop
+
+        # ---- clear accumulator (2k+1 words) ----
+        sll   $t0, $a3, 1
+        addiu $t0, $t0, 1
+        move  $t1, $s1
+        move  $t2, $zero
+cl:     sw    $zero, 0($t1)
+        addiu $t1, $t1, 4
+        addiu $t2, $t2, 1
+        bne   $t2, $t0, cl
+        nop
+
+        # ---- main comb loop: j = 7..0 ----
+        li    $s4, 7              # j
+wloop:  move  $t8, $zero          # i = 0
+        move  $s3, $a1            # &a[i]
+iloop:  lw    $t0, 0($s3)
+        sll   $t1, $s4, 2         # 4j
+        srlv  $t0, $t0, $t1
+        andi  $t0, $t0, 0xf       # u
+        beq   $t0, $zero, iskip   # zero window: nothing to add
+        nop
+        # C[i..i+k] ^= table[u]
+        sll   $t1, $s2, 2
+        mult  $t0, $t1
+        mflo  $t2
+        addu  $t2, $s0, $t2       # row pointer
+        sll   $t3, $t8, 2
+        addu  $t3, $s1, $t3       # &C[i]
+        move  $t4, $zero
+xl:     lw    $t5, 0($t2)
+        lw    $t6, 0($t3)
+        xor   $t5, $t5, $t6
+        sw    $t5, 0($t3)
+        addiu $t2, $t2, 4
+        addiu $t3, $t3, 4
+        addiu $t4, $t4, 1
+        bne   $t4, $s2, xl
+        nop
+iskip:  addiu $s3, $s3, 4
+        addiu $t8, $t8, 1
+        bne   $t8, $a3, iloop
+        nop
+        # if j != 0: C <<= 4
+        beq   $s4, $zero, wdone
+        nop
+        sll   $t0, $a3, 1
+        addiu $t0, $t0, 1         # 2k+1 words
+        move  $t1, $s1
+        move  $t2, $zero          # carry
+        move  $t3, $zero          # index
+shl:    lw    $t4, 0($t1)
+        sll   $t5, $t4, 4
+        or    $t5, $t5, $t2
+        srl   $t2, $t4, 28
+        sw    $t5, 0($t1)
+        addiu $t1, $t1, 4
+        addiu $t3, $t3, 1
+        bne   $t3, $t0, shl
+        nop
+        addiu $s4, $s4, -1
+        b     wloop
+        nop
+
+        # ---- copy C[0..2k-1] to result ----
+wdone:  sll   $t0, $a3, 1
+        move  $t1, $s1
+        move  $t2, $a0
+        move  $t3, $zero
+cp:     lw    $t4, 0($t1)
+        sw    $t4, 0($t2)
+        addiu $t1, $t1, 4
+        addiu $t2, $t2, 4
+        addiu $t3, $t3, 1
+        bne   $t3, $t0, cp
+        nop
+        halt
+`)

@@ -1,0 +1,123 @@
+package kernels
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/gf2"
+	"repro/internal/mp"
+)
+
+func TestSqrPSExtKernelMatchesGo(t *testing.T) {
+	r := rand.New(rand.NewSource(20))
+	for _, k := range []int{1, 2, 6, 8, 12, 17} {
+		runner := NewRunner()
+		a := randWords(r, k)
+		runner.StoreWords(aAddr, a)
+		stats, err := runner.Run(SqrPSExt, resAddr, aAddr, 0, uint32(k))
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		got := runner.LoadWords(resAddr, 2*k)
+		want := mp.New(2 * k)
+		mp.SqrPS(want, mp.Int(a))
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("k=%d word %d: got %#x want %#x", k, i, got[i], want[i])
+			}
+		}
+		t.Logf("sqr_ps_ext k=%d: %d cycles", k, stats.Cycles)
+	}
+}
+
+func TestSqrExtCheaperThanMul(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	k := 8
+	a := randWords(r, k)
+	r1 := NewRunner()
+	r1.StoreWords(aAddr, a)
+	sqr, _ := r1.Run(SqrPSExt, resAddr, aAddr, 0, uint32(k))
+	r2 := NewRunner()
+	r2.StoreWords(aAddr, a)
+	r2.StoreWords(bAddr, a)
+	mul, _ := r2.Run(MulPSExt, resAddr, aAddr, bAddr, uint32(k))
+	ratio := float64(sqr.Cycles) / float64(mul.Cycles)
+	if ratio >= 0.9 {
+		t.Errorf("M2ADDU squaring should be cheaper than multiplication: ratio %.2f", ratio)
+	}
+	t.Logf("sqr/mul cycle ratio at k=%d: %.2f", k, ratio)
+}
+
+func TestSqrGF2Kernels(t *testing.T) {
+	r := rand.New(rand.NewSource(22))
+	for _, k := range []int{1, 2, 6, 9, 18} {
+		a := randWords(r, k)
+		want := gf2.New(2 * k)
+		gf2.SqrCl(want, gf2.Elem(a))
+
+		r1 := NewRunner()
+		r1.StoreWords(aAddr, a)
+		s1, err := r1.Run(SqrGF2Table, resAddr, aAddr, 0, uint32(k))
+		if err != nil {
+			t.Fatalf("table k=%d: %v", k, err)
+		}
+		got := r1.LoadWords(resAddr, 2*k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("table k=%d word %d: got %#x want %#x", k, i, got[i], want[i])
+			}
+		}
+
+		r2 := NewRunner()
+		r2.StoreWords(aAddr, a)
+		s2, err := r2.Run(SqrGF2Cl, resAddr, aAddr, 0, uint32(k))
+		if err != nil {
+			t.Fatalf("cl k=%d: %v", k, err)
+		}
+		got = r2.LoadWords(resAddr, 2*k)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("cl k=%d word %d mismatch", k, i)
+			}
+		}
+		if s2.Cycles >= s1.Cycles {
+			t.Errorf("k=%d: MULGF2 squaring (%d) should beat the table (%d)",
+				k, s2.Cycles, s1.Cycles)
+		}
+		if k == 6 {
+			t.Logf("sqr_gf2 k=6: table=%d cl=%d cycles", s1.Cycles, s2.Cycles)
+		}
+	}
+}
+
+func TestRedB163Kernel(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	f := gf2.NISTField("B-163", gf2.CLMul)
+	for trial := 0; trial < 30; trial++ {
+		runner := NewRunner()
+		// Product of two 163-bit elements: degree <= 324 -> 11 words.
+		c := randWords(r, 11)
+		c[10] &= 0x1f // degree <= 324
+		runner.StoreWords(bAddr, c)
+		stats, err := runner.Run(RedB163, resAddr, bAddr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := runner.LoadWords(resAddr, 6)
+		full := gf2.New(2 * f.K)
+		copy(full, gf2.Elem(c))
+		want := gf2.New(f.K)
+		f.ReduceFull(want, full)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d word %d: got %#x want %#x", trial, i, got[i], want[i])
+			}
+		}
+		if trial == 0 {
+			t.Logf("red_b163: %d cycles (paper: ~100)", stats.Cycles)
+			if stats.Cycles > 400 {
+				t.Errorf("B-163 reduction too slow: %d cycles", stats.Cycles)
+			}
+		}
+	}
+}

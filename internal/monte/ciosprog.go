@@ -1,0 +1,174 @@
+package monte
+
+import "fmt"
+
+// BuildCIOSProgram assembles the CIOS Montgomery-multiplication
+// microprogram (Algorithm 5) for the FFAU control store. The program is
+// generic over the word count k and the modulus: both live in the constant
+// RAM, which is exactly how Monte stays run-time reconfigurable across key
+// sizes (Section 5.4.2.2) — changing fields means reloading constants, not
+// microcode.
+//
+// Constant-RAM layout:
+//
+//	[0] k        (inner-loop trip count / outer-loop trip count)
+//	[1] n'0      (-n^-1 mod 2^w)
+//	[2] 0        (a's base index in AB)
+//	[3] 2k       (n's base index in AB)
+//	[4] k        (b's base index in AB)
+//	[5] k-1      (reduction-pass trip count)
+//
+// AB layout: a at [0,k), b at [k,2k), n at [2k,3k).
+func BuildCIOSProgram() []MicroInst {
+	no := func(mi MicroInst) MicroInst {
+		mi.LoadLoop = -1
+		return mi
+	}
+	ld := func(mi MicroInst, c int) MicroInst {
+		mi.LoadLoop = c
+		return mi
+	}
+	var prog []MicroInst
+	add := func(mi MicroInst) int {
+		prog = append(prog, mi)
+		return len(prog) - 1
+	}
+
+	// --- prologue (3 issues) ---
+	// 0: point the B port at b[0].
+	add(no(MicroInst{Op: CoreNop, CtlB: IdxLoad, ConstSel: 4, Label: "init-b"}))
+	// 1: point the A port at a[0], clear T/W indices, load the inner
+	//    counter with k.
+	add(ld(MicroInst{Op: CoreNop, CtlA: IdxLoad, ConstSel: 2,
+		CtlT: IdxClear, CtlW: IdxClear, LoopSel: 0, Label: "init-a"}, 0))
+	// 2: load the outer counter with k and clear the carry flip-flops.
+	add(ld(MicroInst{Op: CoreNop, LoopSel: 1, ClearAcc: true, Label: "init-outer"}, 0))
+
+	// --- outer loop body ---
+	// pass 1: T[j] = T[j] + a[j]*b[i] + carry, j = 0..k-1.
+	pass1 := add(no(MicroInst{
+		Op: CoreMulAdd, A: AFromAB, B: BFromAB, UseC: true, UseCarry: true,
+		Dst: DstT, CtlA: IdxInc, CtlT: IdxInc, CtlW: IdxInc,
+		LoopSel: 0, LoopDec: true, Label: "pass1",
+	}))
+	prog[pass1].BranchNZ = pass1
+	// T[k] += carry.
+	add(no(MicroInst{Op: CoreClear, UseC: true, Dst: DstT,
+		CtlT: IdxInc, CtlW: IdxInc, Label: "prop-tk"}))
+	// T[k+1] = carry; reset T/W indices for the m computation.
+	add(no(MicroInst{Op: CoreClear, Dst: DstT,
+		CtlT: IdxClear, CtlW: IdxClear, Label: "prop-tk1"}))
+	// m step 1: Temp = T[0] (route T through the adder, carry is 0);
+	// repoint the A port at n[0] in the same word.
+	add(no(MicroInst{Op: CoreClear, UseC: true, Dst: DstTemp,
+		CtlA: IdxLoad, ConstSel: 3, Label: "m-route"}))
+	// m step 2: Temp = Temp * n'0 mod 2^w; the freshly written Temp
+	// stalls the pipeline (Eq. 5.2's p·k term).
+	add(no(MicroInst{Op: CoreMulAdd, A: AFromTemp, B: BFromConst, ConstSel: 1,
+		Dst: DstTemp, Stall: true, Label: "m-mul"}))
+	// pass 2, j = 0: discard the low word: (carry, _) = T[0] + m*n[0];
+	// load the reduction trip count (k-1) on the side.
+	add(ld(MicroInst{Op: CoreMulAdd, A: AFromTemp, B: BFromABPortA,
+		UseC: true, Dst: DstNone, CtlA: IdxInc, CtlT: IdxInc,
+		LoopSel: 0, Label: "pass2-j0"}, 5))
+	// pass 2, j = 1..k-1: T[j-1] = T[j] + m*n[j] + carry.
+	pass2 := add(no(MicroInst{
+		Op: CoreMulAdd, A: AFromTemp, B: BFromABPortA, UseC: true, UseCarry: true,
+		Dst: DstT, CtlA: IdxInc, CtlT: IdxInc, CtlW: IdxInc,
+		LoopSel: 0, LoopDec: true, Label: "pass2",
+	}))
+	prog[pass2].BranchNZ = pass2
+	// T[k-1] = T[k] + carry; reload the pass-1 trip count (k) on the
+	// side for the next outer iteration.
+	add(ld(MicroInst{Op: CoreClear, UseC: true, Dst: DstT,
+		CtlT: IdxInc, CtlW: IdxInc, LoopSel: 0, Label: "tail-1"}, 0))
+	// T[k] = T[k+1] + carry; advance b to b[i+1]; re-arm the A port and
+	// the T/W indices; decrement the outer counter and loop.
+	outer := add(no(MicroInst{Op: CoreClear, UseC: true, Dst: DstT,
+		CtlB: IdxInc, CtlA: IdxLoad, ConstSel: 2,
+		CtlT: IdxClear, CtlW: IdxClear,
+		LoopSel: 1, LoopDec: true, Label: "tail-2"}))
+	prog[outer].BranchNZ = pass1
+
+	// --- epilogue: the final-correction microcode (compare against n and
+	// conditionally subtract, Algorithm 5 lines 22-26). The comparison
+	// and subtraction are executed host-side for clarity; their control-
+	// store footprint and cycle cost are charged here, completing
+	// Equation 5.2's fixed 22-cycle term. ---
+	for i := 0; i < correctionPadCycles; i++ {
+		add(no(MicroInst{Op: CoreNop, Label: "correction"}))
+	}
+	return prog
+}
+
+// correctionPadCycles is the correction-pass share of Equation 5.2's
+// constant term: 22 = 3 prologue + this.
+const correctionPadCycles = 19
+
+// RunCIOS loads operands into the engine's scratchpads, executes the CIOS
+// microprogram, applies the final conditional subtraction, and returns the
+// result digits. a, b, n are little-endian w-bit digits (k each, k >= 2);
+// n0inv = -n^-1 mod 2^w.
+func (f *FFAU) RunCIOS(a, b, n []uint64, n0inv uint64) ([]uint64, error) {
+	k := len(n)
+	if k < 2 {
+		return nil, fmt.Errorf("ffau: CIOS microprogram requires k >= 2, got %d", k)
+	}
+	if len(a) != k || len(b) != k {
+		return nil, fmt.Errorf("ffau: operand length mismatch")
+	}
+	if 3*k > len(f.AB) {
+		return nil, fmt.Errorf("ffau: operands exceed the AB scratchpad")
+	}
+	// DMA-in (cycle cost accounted by the coprocessor layer, not the
+	// FFAU compute model).
+	copy(f.AB[0:], a)
+	copy(f.AB[k:], b)
+	copy(f.AB[2*k:], n)
+	for i := range f.T {
+		f.T[i] = 0
+	}
+	f.Const[0] = uint64(k)
+	f.Const[1] = n0inv
+	f.Const[2] = 0
+	f.Const[3] = uint64(2 * k)
+	f.Const[4] = uint64(k)
+	f.Const[5] = uint64(k - 1)
+	f.idxA, f.idxB, f.idxT, f.idxW = 0, 0, 0, 0
+	f.Temp, f.carry = 0, 0
+
+	if err := f.Run(BuildCIOSProgram()); err != nil {
+		return nil, err
+	}
+	// Final correction (host-executed; cycles already charged by the
+	// correction pad): if T >= n, subtract n.
+	res := make([]uint64, k)
+	copy(res, f.T[:k])
+	ge := f.T[k] != 0
+	if !ge {
+		ge = true
+		for i := k - 1; i >= 0; i-- {
+			if res[i] != n[i] {
+				ge = res[i] > n[i]
+				break
+			}
+		}
+	}
+	if ge {
+		mask := f.mask()
+		var borrow uint64
+		for i := 0; i < k; i++ {
+			d := res[i] - n[i] - borrow
+			if f.Width < 64 {
+				borrow = (d >> f.Width) & 1
+				d &= mask
+			} else if res[i] < n[i]+borrow || (borrow == 1 && n[i] == ^uint64(0)) {
+				borrow = 1
+			} else {
+				borrow = 0
+			}
+			res[i] = d
+		}
+	}
+	return res, nil
+}

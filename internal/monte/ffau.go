@@ -1,0 +1,317 @@
+package monte
+
+// The FFAU micro-engine: an executable model of Section 5.4.2's microcoded
+// Finite-Field Arithmetic Unit. The datapath has
+//
+//   - an AB scratchpad (operands a, b and the modulus n; 4k words),
+//   - a T scratchpad (the running CIOS partial product),
+//   - a small constant RAM (algorithm parameters: k, n'0),
+//   - a temporary result register (holds m during the reduction pass,
+//     avoiding the structural hazard discussed in §5.4.2.1),
+//   - a 2-stage pipelined multiply-add core with resident carry flip-flops
+//     (Table 5.4's operation repertoire), and
+//   - index registers with Hold/Load/Clear/Increment controls (Table 5.5).
+//
+// The control unit executes a microprogram from a 64-entry store. One
+// micro-instruction issues one core operation (or a control step) per
+// cycle; a data dependency on the freshly computed m value stalls the
+// pipeline once per outer loop, and the pipeline drains once at the end —
+// reproducing Equation 5.2's cycle count exactly, which the tests assert.
+// The engine computes real CIOS Montgomery products at any datapath width.
+
+import "fmt"
+
+// CoreOp selects the arithmetic core's function (Table 5.4).
+type CoreOp int
+
+const (
+	// CoreNop issues a bubble (control-only cycle).
+	CoreNop CoreOp = iota
+	// CoreMulAdd computes (carry, result) = A*B + C + carryIn.
+	CoreMulAdd
+	// CoreAdd computes (carry, result) = A + C + carryIn (B unused).
+	CoreAdd
+	// CoreClear drains the resident carry: (carry, result) = C + carryIn.
+	CoreClear
+)
+
+// ASrc selects the core's A operand.
+type ASrc int
+
+const (
+	// AFromAB reads AB[idxA].
+	AFromAB ASrc = iota
+	// AFromTemp reads the temporary result register (the m value).
+	AFromTemp
+)
+
+// BSrc selects the core's B operand.
+type BSrc int
+
+const (
+	// BFromAB reads AB[idxB].
+	BFromAB BSrc = iota
+	// BFromConst reads the microcode-selectable constant RAM.
+	BFromConst
+	// BFromABPortA taps the AB memory's A read port as the B operand —
+	// the extra multiplexer path that lets the reduction pass multiply
+	// the resident m (on the A input, from the temp register) by N[j]
+	// (walked by the A-port index) in a single issue.
+	BFromABPortA
+)
+
+// Dst selects where the core result lands.
+type Dst int
+
+const (
+	// DstNone discards the result.
+	DstNone Dst = iota
+	// DstT writes T[idxW].
+	DstT
+	// DstTemp latches the temporary result register.
+	DstTemp
+)
+
+// IdxCtl is an index-register control code (Table 5.5).
+type IdxCtl int
+
+const (
+	// IdxHold leaves the register unchanged.
+	IdxHold IdxCtl = iota
+	// IdxLoad loads the register from the constant bus.
+	IdxLoad
+	// IdxClear zeroes the register.
+	IdxClear
+	// IdxInc increments the register.
+	IdxInc
+)
+
+// MicroInst is one word of the control store.
+type MicroInst struct {
+	Op       CoreOp
+	A        ASrc
+	B        BSrc
+	UseC     bool // include T[idxT] as the C addend
+	UseCarry bool // include the resident carry flip-flops
+	Dst      Dst
+	ConstSel int // constant-RAM entry for BFromConst / IdxLoad
+	CtlA     IdxCtl
+	CtlB     IdxCtl
+	CtlT     IdxCtl
+	CtlW     IdxCtl
+	Stall    bool // wait for the pipeline (the m dependency)
+	LoopSel  int  // which of the two nested-loop counters to touch
+	LoopDec  bool // decrement the selected loop counter
+	BranchNZ int  // if LoopDec left the counter nonzero, jump here
+	LoadLoop int  // when >= 0, load the selected counter from constant RAM
+	ClearAcc bool // clear the resident carry flip-flops
+	Label    string
+}
+
+// FFAU is the micro-engine state.
+type FFAU struct {
+	Width uint // datapath width in bits (8/16/32/64)
+
+	AB    []uint64 // operand scratchpad
+	T     []uint64 // partial-product scratchpad
+	Const []uint64 // constant RAM (8 entries)
+	Temp  uint64   // temporary result register
+
+	idxA, idxB, idxT, idxW int
+	loop                   [2]int
+	carry                  uint64
+
+	// Cycles counts issued micro-instructions plus stall and drain
+	// cycles — the quantity Equation 5.2 predicts.
+	Cycles uint64
+}
+
+// NewFFAU builds an engine with the given datapath width and scratch
+// capacity of 4k digits each (the paper's sizing).
+func NewFFAU(width uint, k int) *FFAU {
+	return &FFAU{
+		Width: width,
+		AB:    make([]uint64, 4*k),
+		T:     make([]uint64, 4*k+2),
+		Const: make([]uint64, 8),
+	}
+}
+
+func (f *FFAU) mask() uint64 {
+	if f.Width >= 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<f.Width - 1
+}
+
+// step applies an index control.
+func step(v int, ctl IdxCtl, constVal int) int {
+	switch ctl {
+	case IdxLoad:
+		return constVal
+	case IdxClear:
+		return 0
+	case IdxInc:
+		return v + 1
+	}
+	return v
+}
+
+// Run executes a microprogram to completion, returning an error on a
+// malformed program.
+func (f *FFAU) Run(prog []MicroInst) error {
+	if len(prog) > 64 {
+		return fmt.Errorf("ffau: microprogram (%d) exceeds the 64-entry control store", len(prog))
+	}
+	mask := f.mask()
+	pc := 0
+	guard := 0
+	for pc < len(prog) {
+		guard++
+		if guard > 10_000_000 {
+			return fmt.Errorf("ffau: microprogram did not terminate")
+		}
+		mi := prog[pc]
+		f.Cycles++
+		if mi.Stall {
+			// The m-value dependency: the pipeline must drain
+			// before the reduction pass can read Temp (the per-
+			// outer-loop stall Equation 5.2 charges p cycles for).
+			f.Cycles += uint64(PipelineDepth)
+		}
+		if mi.ClearAcc {
+			f.carry = 0
+		}
+		// Operand fetch.
+		var a, b, c uint64
+		switch mi.A {
+		case AFromAB:
+			a = f.AB[f.idxA]
+		case AFromTemp:
+			a = f.Temp
+		}
+		switch mi.B {
+		case BFromAB:
+			b = f.AB[f.idxB]
+		case BFromConst:
+			b = f.Const[mi.ConstSel]
+		case BFromABPortA:
+			b = f.AB[f.idxA]
+		}
+		if mi.UseC {
+			c = f.T[f.idxT]
+		}
+		// Core operation.
+		var res uint64
+		switch mi.Op {
+		case CoreNop:
+		case CoreMulAdd:
+			lo, hi := mulWide(a, b, f.Width)
+			sum := lo + c
+			hi += carryOut(sum, lo, mask, f.Width)
+			if f.Width < 64 {
+				hi += sum >> f.Width
+				sum &= mask
+			}
+			if mi.UseCarry {
+				s2 := sum + f.carry
+				if f.Width < 64 {
+					hi += s2 >> f.Width
+					s2 &= mask
+				} else if s2 < sum {
+					hi++
+				}
+				sum = s2
+			}
+			res = sum
+			f.carry = hi
+		case CoreAdd:
+			sum := a + c
+			var hi uint64
+			if f.Width < 64 {
+				hi = sum >> f.Width
+				sum &= mask
+			} else if sum < a {
+				hi = 1
+			}
+			if mi.UseCarry {
+				s2 := sum + f.carry
+				if f.Width < 64 {
+					hi += s2 >> f.Width
+					s2 &= mask
+				} else if s2 < sum {
+					hi++
+				}
+				sum = s2
+			}
+			res = sum
+			f.carry = hi
+		case CoreClear:
+			sum := c + f.carry
+			var hi uint64
+			if f.Width < 64 {
+				hi = sum >> f.Width
+				sum &= mask
+			} else if sum < c {
+				hi = 1
+			}
+			res = sum
+			f.carry = hi
+		}
+		// Write-back.
+		switch mi.Dst {
+		case DstT:
+			f.T[f.idxW] = res
+		case DstTemp:
+			f.Temp = res & mask
+		}
+		// Index updates.
+		cv := int(f.Const[mi.ConstSel])
+		f.idxA = step(f.idxA, mi.CtlA, cv)
+		f.idxB = step(f.idxB, mi.CtlB, cv)
+		f.idxT = step(f.idxT, mi.CtlT, cv)
+		f.idxW = step(f.idxW, mi.CtlW, cv)
+		// Loop control.
+		if mi.LoadLoop >= 0 {
+			f.loop[mi.LoopSel] = int(f.Const[mi.LoadLoop])
+		}
+		if mi.LoopDec {
+			f.loop[mi.LoopSel]--
+			if f.loop[mi.LoopSel] != 0 {
+				pc = mi.BranchNZ
+				continue
+			}
+		}
+		pc++
+	}
+	// Final pipeline drain.
+	f.Cycles += uint64(PipelineDepth)
+	return nil
+}
+
+func mulWide(a, b uint64, w uint) (lo, hi uint64) {
+	if w < 64 {
+		p := a * b
+		return p & (uint64(1)<<w - 1), p >> w
+	}
+	// 64x64 via 32-bit halves.
+	ah, al := a>>32, a&0xffffffff
+	bh, bl := b>>32, b&0xffffffff
+	ll := al * bl
+	lh := al * bh
+	hl := ah * bl
+	hh := ah * bh
+	mid := lh + ll>>32
+	mid2 := hl + mid&0xffffffff
+	return mid2<<32 | ll&0xffffffff, hh + mid>>32 + mid2>>32
+}
+
+func carryOut(sum, base, mask uint64, w uint) uint64 {
+	if w < 64 {
+		return 0 // handled by the shift in the caller
+	}
+	if sum < base {
+		return 1
+	}
+	return 0
+}

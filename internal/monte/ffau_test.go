@@ -1,0 +1,111 @@
+package monte
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/mp"
+)
+
+func TestMicroprogramFitsControlStore(t *testing.T) {
+	prog := BuildCIOSProgram()
+	if len(prog) > 64 {
+		t.Fatalf("CIOS microprogram uses %d of 64 control-store entries", len(prog))
+	}
+	t.Logf("CIOS microprogram: %d control-store entries", len(prog))
+}
+
+func TestFFAUMicroEngineComputesCIOS(t *testing.T) {
+	// The micro-engine must produce bit-exact CIOS Montgomery products
+	// at every datapath width, cross-checked against the arithmetic
+	// library.
+	r := rand.New(rand.NewSource(30))
+	for _, name := range []string{"P-192", "P-256", "P-384"} {
+		fld := mp.NISTField(name, mp.CIOS)
+		for _, w := range []uint{8, 16, 32, 64} {
+			n := mp.ToDigits(fld.P, w)
+			n0 := mp.N0InvW(n[0], w)
+			eng := NewFFAU(w, len(n))
+			for trial := 0; trial < 8; trial++ {
+				a := randMod(r, fld.P)
+				b := randMod(r, fld.P)
+				got, err := eng.RunCIOS(mp.ToDigits(a, w), mp.ToDigits(b, w), n, n0)
+				if err != nil {
+					t.Fatalf("%s w=%d: %v", name, w, err)
+				}
+				want := mp.GenericCIOS(mp.ToDigits(a, w), mp.ToDigits(b, w), n, w, n0)
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s w=%d digit %d: got %#x want %#x",
+							name, w, i, got[i], want[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFFAUMicroEngineCyclesMatchEquation52(t *testing.T) {
+	// The executed microprogram must take exactly the cycles Equation
+	// 5.2 predicts — the anchor that ties the engine to Table 7.4.
+	r := rand.New(rand.NewSource(31))
+	for _, name := range []string{"P-192", "P-256", "P-384"} {
+		fld := mp.NISTField(name, mp.CIOS)
+		for _, w := range []uint{8, 16, 32, 64} {
+			n := mp.ToDigits(fld.P, w)
+			n0 := mp.N0InvW(n[0], w)
+			eng := NewFFAU(w, len(n))
+			a := randMod(r, fld.P)
+			b := randMod(r, fld.P)
+			if _, err := eng.RunCIOS(mp.ToDigits(a, w), mp.ToDigits(b, w), n, n0); err != nil {
+				t.Fatal(err)
+			}
+			want := CIOSCycles(len(n), PipelineDepth)
+			if eng.Cycles != want {
+				t.Errorf("%s w=%d: engine took %d cycles, Equation 5.2 says %d",
+					name, w, eng.Cycles, want)
+			}
+		}
+	}
+}
+
+func TestFFAUGuards(t *testing.T) {
+	eng := NewFFAU(32, 6)
+	if _, err := eng.RunCIOS([]uint64{1}, []uint64{1}, []uint64{3}, 0); err == nil {
+		t.Error("k=1 should be rejected")
+	}
+	big := make([]uint64, 100)
+	big[0] = 3
+	if _, err := eng.RunCIOS(big, big, big, 0); err == nil {
+		t.Error("oversized operands should be rejected")
+	}
+	long := make([]MicroInst, 65)
+	if err := eng.Run(long); err == nil {
+		t.Error("oversized microprogram should be rejected")
+	}
+}
+
+func TestFFAUReconfigurability(t *testing.T) {
+	// One engine instance must handle different key sizes back to back
+	// by reloading constants only — Monte's run-time reconfigurability
+	// claim (Section 5.4).
+	r := rand.New(rand.NewSource(32))
+	eng := NewFFAU(32, 17) // sized for the largest field
+	for _, name := range []string{"P-521", "P-192", "P-384", "P-224"} {
+		fld := mp.NISTField(name, mp.CIOS)
+		n := mp.ToDigits(fld.P, 32)
+		n0 := mp.N0InvW(n[0], 32)
+		a := randMod(r, fld.P)
+		b := randMod(r, fld.P)
+		got, err := eng.RunCIOS(mp.ToDigits(a, 32), mp.ToDigits(b, 32), n, n0)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := mp.New(fld.K)
+		mp.MontMulCIOS(want, a, b, fld.P, fld.N0Inv)
+		gi := mp.FromDigits(got, 32, fld.K)
+		if mp.Cmp(gi, want) != 0 {
+			t.Fatalf("%s: reconfigured engine computed wrong product", name)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Package sim composes the substrates — the Pete CPU simulator and its
+// measured kernels, the instruction cache, the Monte and Billie
+// accelerator models, and the energy model — into the six system
+// configurations the paper evaluates, and runs the ECDSA workload through
+// them to produce the cycles- and Joules-per-operation numbers behind
+// every table and figure of Chapter 7.
+//
+// Methodology (mirrors Chapter 6): a real ECDSA signature/verification is
+// executed functionally while its exact operation census is recorded
+// (internal/ecdsa.Profile*); each operation is then priced with cycle and
+// memory-event costs measured by running the corresponding assembly kernel
+// on the pipeline simulator (internal/kernels) or with the accelerator
+// timing models; software structure overheads (call/point-op/protocol
+// glue) are the documented calibration constants in calibrate.go.
+package sim
+
+import "fmt"
+
+// Arch is a hardware/software configuration on the Figure 1.1 spectrum.
+type Arch int
+
+const (
+	// Baseline is pure software on the unextended core (Section 5.1).
+	Baseline Arch = iota
+	// ISAExt adds the prime- or binary-field instruction extensions
+	// (Section 5.2).
+	ISAExt
+	// ISAExtCache is ISAExt plus the direct-mapped instruction cache
+	// (Section 5.3).
+	ISAExtCache
+	// WithMonte is the baseline core plus the microcoded GF(p)
+	// accelerator (Section 5.4). Prime curves only.
+	WithMonte
+	// WithBillie is the baseline core plus the fixed-field GF(2^m)
+	// accelerator (Section 5.5). Binary curves only.
+	WithBillie
+	// BaselineCache is the unextended core plus the instruction cache
+	// (used by the cache studies of Section 7.5).
+	BaselineCache
+	// MonteCache pairs Monte with an instruction cache (ideal-cache
+	// study, Figure 7.11).
+	MonteCache
+)
+
+func (a Arch) String() string {
+	switch a {
+	case Baseline:
+		return "baseline"
+	case ISAExt:
+		return "isa-ext"
+	case ISAExtCache:
+		return "isa-ext+icache"
+	case WithMonte:
+		return "monte"
+	case WithBillie:
+		return "billie"
+	case BaselineCache:
+		return "baseline+icache"
+	case MonteCache:
+		return "monte+icache"
+	}
+	return fmt.Sprintf("arch(%d)", int(a))
+}
+
+// Options tunes a configuration.
+type Options struct {
+	CacheBytes   int  // I-cache capacity (default 4096)
+	Prefetch     bool // stream-buffer prefetcher (Section 5.3.3)
+	IdealCache   bool // never-miss cache (Figure 7.11)
+	DoubleBuffer bool // Monte DMA/compute overlap (Section 7.7)
+	BillieDigit  int  // digit-serial multiplier width (default 3)
+	// GateAccelIdle clock/power-gates the accelerator while idle — the
+	// paper's stated future work ("we plan on modeling our system such
+	// that we can turn off Billie when she is not in use", Chapter 8).
+	GateAccelIdle bool
+}
+
+// DefaultOptions matches the headline evaluation settings.
+func DefaultOptions() Options {
+	return Options{CacheBytes: 4096, DoubleBuffer: true, BillieDigit: 3}
+}
+
+// HasCache reports whether the configuration includes the I-cache.
+func (a Arch) HasCache() bool {
+	return a == ISAExtCache || a == BaselineCache || a == MonteCache
+}
+
+// HasMonte reports whether the configuration includes Monte.
+func (a Arch) HasMonte() bool { return a == WithMonte || a == MonteCache }

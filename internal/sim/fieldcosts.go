@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"repro/internal/billie"
+	"repro/internal/kernels"
+	"repro/internal/monte"
+)
+
+// redCost prices the NIST fast reduction for a field with k words: the
+// hand-written P-192 and B-163 kernels are measured, other fields scale by
+// word count and fold-complexity factor (calibrate.go).
+func redCost(fieldName string, k int) PerOp {
+	base := measureKernel(kernels.RedP192, 6, true)
+	f := float64(k) / 6.0 * redScale(fieldName)
+	return base.scale(f)
+}
+
+// redCostBinary prices binary-field reduction from the measured B-163
+// kernel (Algorithm 7), scaled by word count.
+func redCostBinary(k int) PerOp {
+	base := measureKernel(kernels.RedB163, 6, true)
+	return base.scale(float64(k) / 6.0)
+}
+
+// callOv is the per-operation software overhead.
+var callOv = PerOp{
+	Cycles:    callOverheadCycles,
+	Insts:     callOverheadInsts,
+	RAMReads:  callOverheadRAM / 2,
+	RAMWrites: callOverheadRAM / 2,
+}
+
+// addModCost prices a modular add/sub: the multi-precision add kernel plus
+// an average half conditional correction pass.
+func addModCost(k int) PerOp {
+	a := measureKernel(kernels.AddMP, k, false)
+	return a.plus(a.scale(0.5)).plus(callOv)
+}
+
+// beeaCost models binary-extended-Euclidean inversion (software, all
+// configurations' protocol arithmetic; Section 4.2.4).
+func beeaCost(bits, k int) PerOp {
+	cyc := uint64(bits) * uint64(beeaCyclesPerBitBase+beeaCyclesPerBitWord*k)
+	return PerOp{
+		Cycles:    cyc,
+		Insts:     cyc * 8 / 10,
+		RAMReads:  cyc / 6,
+		RAMWrites: cyc / 9,
+	}
+}
+
+// PrimeFieldCosts builds the cost table for a prime field under an
+// architecture.
+func PrimeFieldCosts(arch Arch, fieldName string, bits, k int, opt Options) FieldCosts {
+	red := redCost(fieldName, k)
+	switch arch {
+	case Baseline, BaselineCache:
+		m := measureKernel(kernels.MulOS, k, false).scale(mulOSFactor)
+		mul := m.plus(red).plus(callOv)
+		return FieldCosts{
+			Mul: mul,
+			Sqr: m.scale(baselineSqrFactor).plus(red).plus(callOv),
+			Add: addModCost(k),
+			Sub: addModCost(k),
+			Inv: beeaCost(bits, k),
+		}
+	case ISAExt, ISAExtCache:
+		m := measureKernel(kernels.MulPSExt, k, false).scale(mulPSFactor)
+		mul := m.plus(red).plus(callOv)
+		sqr := measureKernel(kernels.SqrPSExt, k, false).scale(mulPSFactor).plus(red).plus(callOv)
+		return FieldCosts{
+			Mul: mul,
+			Sqr: sqr,
+			Add: addModCost(k),
+			Sub: addModCost(k),
+			Inv: beeaCost(bits, k),
+		}
+	case WithMonte, MonteCache:
+		mo := monte.New(monte.Config{WidthBits: 32, DoubleBuffer: opt.DoubleBuffer}, fieldName)
+		cc := monte.CIOSCycles(mo.K(), monte.PipelineDepth)
+		dma := uint64(3 * mo.K())
+		var busy uint64
+		if opt.DoubleBuffer {
+			busy = maxU64(cc, dma) + 8
+		} else {
+			busy = cc + dma + 8
+		}
+		mulCyc := busy + accelCallOverheadCycles
+		// Pete only issues a handful of instructions per op; shared-RAM
+		// traffic is the DMA's 3k words.
+		mul := PerOp{Cycles: mulCyc, Insts: 12, RAMReads: uint64(2 * mo.K()), RAMWrites: uint64(mo.K()), Accel: busy}
+		addCyc := monte.AddSubCycles(mo.K(), monte.PipelineDepth)
+		var addBusy uint64
+		if opt.DoubleBuffer {
+			addBusy = maxU64(addCyc, dma) + 8
+		} else {
+			addBusy = addCyc + dma + 8
+		}
+		add := PerOp{Cycles: addBusy + accelCallOverheadCycles, Insts: 10,
+			RAMReads: uint64(2 * mo.K()), RAMWrites: uint64(mo.K()), Accel: addBusy}
+		// Fermat inversion in microcode: ~bits squarings + ~bits/2
+		// multiplies, operands resident (Section 7.1's O(n^3) term).
+		steps := uint64(bits-1) + uint64(bits)/2
+		inv := PerOp{Cycles: steps*(cc+2) + dma + 8, Insts: 20,
+			RAMReads: uint64(mo.K()), RAMWrites: uint64(mo.K()),
+			Accel: steps * (cc + 2)}
+		return FieldCosts{Mul: mul, Sqr: mul, Add: add, Sub: add, Inv: inv}
+	}
+	panic("sim: architecture cannot run prime fields: " + arch.String())
+}
+
+// BinaryFieldCosts builds the cost table for a binary field under an
+// architecture.
+func BinaryFieldCosts(arch Arch, fieldName string, m, k int, opt Options) FieldCosts {
+	red := redCostBinary(k)
+	addGF2 := measureKernel(kernels.AddGF2, k, false).plus(callOv)
+	switch arch {
+	case Baseline, BaselineCache:
+		mul := measureKernel(kernels.MulComb, k, false).plus(red).plus(callOv)
+		sqr := measureKernel(kernels.SqrGF2TableHot, k, false)
+		return FieldCosts{
+			Mul: mul,
+			Sqr: sqr.plus(red).plus(callOv),
+			Add: addGF2,
+			Sub: addGF2,
+			Inv: beeaCost(m, k).scale(1.1), // polynomial EEA degree bookkeeping
+		}
+	case ISAExt, ISAExtCache:
+		mul := measureKernel(kernels.MulGF2Ext, k, false).scale(mulGF2Factor).plus(red).plus(callOv)
+		sqr := measureKernel(kernels.SqrGF2Cl, k, false)
+		return FieldCosts{
+			Mul: mul,
+			Sqr: sqr.plus(red).plus(callOv),
+			Add: addGF2,
+			Sub: addGF2,
+			Inv: beeaCost(m, k).scale(1.1),
+		}
+	case WithBillie:
+		bl := billie.New(billie.Config{FieldName: fieldName, Digit: opt.BillieDigit})
+		mulCyc := bl.MulCycles() + 2 + billieCallOverheadCycles
+		mul := PerOp{Cycles: mulCyc, Insts: 4, Accel: bl.MulCycles()}
+		one := PerOp{Cycles: 3 + billieCallOverheadCycles, Insts: 3, Accel: 1}
+		// Itoh–Tsujii on Billie: m-1 single-cycle squarings plus ~11
+		// multiplies; operands live in the register file.
+		invCyc := uint64(m-1)*(3) + 11*mulCyc + uint64(2*k)
+		inv := PerOp{Cycles: invCyc, Insts: uint64(m), Accel: invCyc - uint64(2*k)}
+		return FieldCosts{Mul: mul, Sqr: one, Add: one, Sub: one, Inv: inv}
+	}
+	panic("sim: architecture cannot run binary fields: " + arch.String())
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}

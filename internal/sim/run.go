@@ -1,0 +1,352 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+	"repro/internal/energy"
+	"repro/internal/gf2"
+	"repro/internal/mp"
+)
+
+// Result is the outcome of running the ECDSA workload on one
+// configuration: latency and a per-component energy breakdown for a
+// signature, a verification, and the combined "handshake" the paper
+// reports (Sign + Verify).
+type Result struct {
+	Arch  Arch
+	Curve string
+	Opt   Options
+
+	SignCycles   uint64
+	VerifyCycles uint64
+
+	SignEnergy   energy.Breakdown
+	VerifyEnergy energy.Breakdown
+
+	Power energy.PowerSplit // average over the combined operation
+
+	// Event totals for the combined operation.
+	InstFetches    uint64
+	RAMReads       uint64
+	RAMWrites      uint64
+	AccelBusy      uint64
+	CacheMissStall uint64
+}
+
+// TotalCycles returns Sign + Verify cycles.
+func (r Result) TotalCycles() uint64 { return r.SignCycles + r.VerifyCycles }
+
+// TotalEnergy returns the combined Sign + Verify energy in Joules.
+func (r Result) TotalEnergy() float64 {
+	return r.SignEnergy.Total() + r.VerifyEnergy.Total()
+}
+
+// CombinedBreakdown returns the Sign+Verify component breakdown.
+func (r Result) CombinedBreakdown() energy.Breakdown {
+	return r.SignEnergy.Add(r.VerifyEnergy)
+}
+
+// TimeSeconds returns the combined wall-clock time at the system clock.
+func (r Result) TimeSeconds() float64 {
+	return float64(r.TotalCycles()) / energy.SystemClockHz
+}
+
+// IsPrimeCurve reports whether name is a NIST prime curve.
+func IsPrimeCurve(name string) bool { return strings.HasPrefix(name, "P-") }
+
+// tally is the intermediate cycle/event accumulation for one operation.
+type tally struct {
+	cycles    uint64
+	insts     uint64
+	ramReads  uint64
+	ramWrites uint64
+	accel     uint64
+}
+
+func (t *tally) addOps(cost PerOp, n uint64) {
+	t.cycles += cost.Cycles * n
+	t.insts += cost.Insts * n
+	t.ramReads += cost.RAMReads * n
+	t.ramWrites += cost.RAMWrites * n
+	t.accel += cost.Accel * n
+}
+
+// addOverhead adds glue cycles executed by Pete (point-op and protocol
+// overhead) with typical instruction/memory density.
+func (t *tally) addOverhead(cycles uint64) {
+	t.cycles += cycles
+	t.insts += cycles * 85 / 100
+	t.ramReads += cycles / 6
+	t.ramWrites += cycles / 10
+}
+
+// priceFieldOps converts an operation census into cycles/events.
+func priceFieldOps(t *tally, c FieldCosts, mul, sqr, add, sub, inv uint64) {
+	t.addOps(c.Mul, mul)
+	t.addOps(c.Sqr, sqr)
+	t.addOps(c.Add, add)
+	t.addOps(c.Sub, sub)
+	t.addOps(c.Inv, inv)
+}
+
+// pricePointOps adds the per-point-operation software glue; accelerated
+// configurations keep coordinates out of Pete's hands and pay less.
+func (t *tally) pricePointOps(p ec.PointOpCounters, accel bool) {
+	ov := uint64(pointOpOverheadCycles)
+	if accel {
+		ov = pointOpOverheadAccel
+	}
+	t.addOverhead((p.Dbl + p.Add) * ov)
+}
+
+// Run executes the ECDSA workload (one signature and one verification of a
+// SHA-256 digest) on the given configuration and curve, returning latency
+// and energy. The cryptography is executed functionally — the signature
+// really verifies — while costs come from the measured kernels and
+// accelerator models.
+func Run(arch Arch, curveName string, opt Options) (Result, error) {
+	if opt.CacheBytes == 0 {
+		opt.CacheBytes = 4096
+	}
+	if opt.BillieDigit == 0 {
+		opt.BillieDigit = 3
+	}
+	if IsPrimeCurve(curveName) {
+		return runPrime(arch, curveName, opt)
+	}
+	return runBinary(arch, curveName, opt)
+}
+
+// MustRun is Run that panics on error (harness use).
+func MustRun(arch Arch, curveName string, opt Options) Result {
+	r, err := Run(arch, curveName, opt)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func digest() []byte {
+	d := sha256.Sum256([]byte("ispass-2014 design-space reproduction workload"))
+	return d[:]
+}
+
+func runPrime(arch Arch, curveName string, opt Options) (Result, error) {
+	if arch == WithBillie {
+		return Result{}, fmt.Errorf("sim: Billie is a binary-field accelerator; cannot run %s", curveName)
+	}
+	var alg mp.MulAlg
+	switch arch {
+	case Baseline, BaselineCache:
+		alg = mp.OSNIST
+	case ISAExt, ISAExtCache:
+		alg = mp.PSNIST
+	default:
+		alg = mp.CIOS
+	}
+	curve := ec.NISTPrimeCurve(curveName, alg)
+	priv := ecdsa.GenerateKey(curve, []byte("sim-key-"+curveName))
+	sig, signProf, err := ecdsa.ProfileSign(priv, digest())
+	if err != nil {
+		return Result{}, err
+	}
+	ok, verProf := ecdsa.ProfileVerify(curve, priv.Q, digest(), sig)
+	if !ok {
+		return Result{}, fmt.Errorf("sim: functional verification failed on %s", curveName)
+	}
+
+	k := curve.F.K
+	fieldCosts := PrimeFieldCosts(arch, curveName, curve.F.Bits, k, opt)
+	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
+
+	accel := arch.HasMonte()
+	signT := priceProfile(signProf, fieldCosts, orderCosts, accel)
+	verT := priceProfile(verProf, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, signT, verT, 0)
+}
+
+func runBinary(arch Arch, curveName string, opt Options) (Result, error) {
+	if arch.HasMonte() {
+		return Result{}, fmt.Errorf("sim: Monte is a prime-field accelerator; cannot run %s", curveName)
+	}
+	var alg gf2.MulAlg
+	if arch == Baseline || arch == BaselineCache {
+		alg = gf2.Comb
+	} else {
+		alg = gf2.CLMul
+	}
+	curve := ec.NISTBinaryCurve(curveName, alg)
+	priv := ecdsa.GenerateBinaryKey(curve, []byte("sim-key-"+curveName))
+	sig, signProf, err := ecdsa.ProfileSignBinary(priv, digest())
+	if err != nil {
+		return Result{}, err
+	}
+	ok, verProf := ecdsa.ProfileVerifyBinary(curve, priv.Q, digest(), sig)
+	if !ok {
+		return Result{}, fmt.Errorf("sim: functional verification failed on %s", curveName)
+	}
+
+	k := curve.F.K
+	m := curve.F.M
+	fieldCosts := BinaryFieldCosts(arch, curveName, m, k, opt)
+	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
+
+	accel := arch == WithBillie
+	signT := priceBinaryProfile(signProf, fieldCosts, orderCosts, accel)
+	verT := priceBinaryProfile(verProf, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, signT, verT, m)
+}
+
+// orderCostsFor prices group-order (protocol) arithmetic, which always
+// runs in software on Pete — the Amdahl's-law bottleneck of Section 7.3.
+// Accelerated configurations use the *baseline* core's software costs;
+// ISA-extended configurations benefit from their extensions.
+func orderCostsFor(arch Arch, curveName string, nbits int, opt Options) FieldCosts {
+	ow := (nbits + 31) / 32
+	var swArch Arch
+	switch arch {
+	case ISAExt, ISAExtCache:
+		swArch = ISAExt
+	default:
+		swArch = Baseline
+	}
+	// The order field has no NIST reduction; use the generic prime
+	// software path, scaled.
+	c := PrimeFieldCosts(swArch, "order", nbits, ow, opt)
+	return FieldCosts{
+		Mul: c.Mul.scale(orderCostFactor),
+		Sqr: c.Sqr.scale(orderCostFactor),
+		Add: c.Add,
+		Sub: c.Sub,
+		Inv: c.Inv,
+	}
+}
+
+func priceProfile(p ecdsa.OpProfile, fc, oc FieldCosts, accel bool) tally {
+	var t tally
+	priceFieldOps(&t, fc, p.Field.Mul, p.Field.Sqr, p.Field.Add, p.Field.Sub, p.Field.Inv)
+	priceFieldOps(&t, oc, p.Order.Mul, p.Order.Sqr, p.Order.Add, p.Order.Sub, p.Order.Inv)
+	t.pricePointOps(p.Point, accel)
+	t.addOverhead(ecdsaFixedOverheadCycles)
+	return t
+}
+
+func priceBinaryProfile(p ecdsa.BinaryOpProfile, fc, oc FieldCosts, accel bool) tally {
+	var t tally
+	mul, sqr, add, inv := p.Field.Counts()
+	priceFieldOps(&t, fc, mul, sqr, add, 0, inv)
+	priceFieldOps(&t, oc, p.Order.Mul, p.Order.Sqr, p.Order.Add, p.Order.Sub, p.Order.Inv)
+	t.pricePointOps(p.Point, accel)
+	t.addOverhead(ecdsaFixedOverheadCycles)
+	return t
+}
+
+// assemble applies the cache model and converts tallies into energy.
+func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billieM int) (Result, error) {
+	res := Result{Arch: arch, Curve: curveName, Opt: opt}
+
+	apply := func(t tally) (uint64, energy.Breakdown, uint64, uint64) {
+		cycles := t.cycles
+		var missStall, lineReads, cacheAccesses uint64
+		if arch.HasCache() {
+			cacheAccesses = t.insts
+			if !opt.IdealCache {
+				raw := float64(t.insts) * cacheMissRate(opt.CacheBytes)
+				stallMisses := raw
+				if opt.Prefetch {
+					stallMisses = raw * (1 - prefetchCoverage(opt.CacheBytes))
+					lineReads = uint64(prefetchTrafficFactor * raw)
+				} else {
+					lineReads = uint64(raw)
+				}
+				missStall = uint64(stallMisses * 3) // 3-cycle miss penalty
+				cycles += missStall
+			}
+		}
+		T := float64(cycles) / energy.SystemClockHz
+
+		var bd energy.Breakdown
+		// Pete: clock + static always; datapath scaled by activity.
+		swCycles := cycles - t.accel - missStall
+		activity := (float64(swCycles) + energy.StallActivity*float64(t.accel+missStall)) / float64(cycles)
+		bd.Pete = (energy.PeteClockW+energy.PeteStaticW)*T + energy.PeteDatapathW*activity*T
+
+		// ROM and cache/uncore.
+		if arch.HasCache() {
+			bd.ROM = float64(lineReads) * energy.ROMLineReadEnergy()
+			uncoreW := energy.UncoreBaseW + energy.UncoreCacheW + energy.UncoreStatic
+			if opt.IdealCache {
+				// The Figure 7.11 best-case model counts only the
+				// cache arrays, not the real controller/buffers.
+				uncoreW = energy.UncoreBaseW + energy.UncoreStatic
+			}
+			bd.Uncore = uncoreW*T +
+				float64(cacheAccesses)*energy.ICacheReadEnergy(opt.CacheBytes) +
+				energy.ICacheLeakage(opt.CacheBytes)*T
+		} else {
+			bd.ROM = float64(t.insts) * energy.ROMReadEnergy()
+			bd.Uncore = (energy.UncoreBaseW + energy.UncoreStatic) * T
+		}
+
+		// RAM.
+		const ramBytes = 16 * 1024
+		bd.RAM = float64(t.ramReads)*energy.SRAMReadEnergy(ramBytes) +
+			float64(t.ramWrites)*energy.SRAMWriteEnergy(ramBytes) +
+			energy.SRAMLeakage(ramBytes)*T
+
+		// Accelerator.
+		switch {
+		case arch.HasMonte():
+			Tbusy := float64(t.accel) / energy.SystemClockHz
+			idle, static := energy.MonteIdleW, energy.MonteStaticW
+			if opt.GateAccelIdle {
+				// Clock gating kills the idle clock fringe; power
+				// gating cuts leakage to a retention trickle.
+				idle, static = 0, static*0.1
+			}
+			bd.Accel = energy.MonteDynamicW*Tbusy +
+				idle*(T-Tbusy) + static*T
+		case arch == WithBillie:
+			Tbusy := float64(t.accel) / energy.SystemClockHz
+			idleW := energy.BillieIdle(billieM)
+			staticW := energy.BillieStatic(billieM)
+			if opt.GateAccelIdle {
+				idleW, staticW = 0, staticW*0.1
+			}
+			bd.Accel = energy.BillieDynamic(billieM)*Tbusy +
+				idleW*(T-Tbusy) + staticW*T
+		}
+		return cycles, bd, missStall, lineReads
+	}
+
+	var sMiss, vMiss uint64
+	res.SignCycles, res.SignEnergy, sMiss, _ = apply(signT)
+	res.VerifyCycles, res.VerifyEnergy, vMiss, _ = apply(verT)
+	res.CacheMissStall = sMiss + vMiss
+	res.InstFetches = signT.insts + verT.insts
+	res.RAMReads = signT.ramReads + verT.ramReads
+	res.RAMWrites = signT.ramWrites + verT.ramWrites
+	res.AccelBusy = signT.accel + verT.accel
+
+	// Average power split (Figure 7.10).
+	T := res.TimeSeconds()
+	static := energy.PeteStaticW + energy.UncoreStatic + energy.SRAMLeakage(16*1024)
+	if arch.HasCache() {
+		static += energy.ICacheLeakage(opt.CacheBytes)
+	}
+	if arch.HasMonte() {
+		static += energy.MonteStaticW
+	}
+	if arch == WithBillie {
+		static += energy.BillieStatic(billieM)
+	}
+	res.Power = energy.PowerSplit{
+		StaticW:  static,
+		DynamicW: res.TotalEnergy()/T - static,
+	}
+	return res, nil
+}

@@ -1,0 +1,189 @@
+// Package repro is a full reproduction of "The Design Space of Ultra-low
+// Energy Asymmetric Cryptography" (ISPASS 2014): an ECDSA implementation
+// over all ten NIST curves backed by interchangeable software and
+// accelerator arithmetic, a cycle-accounting simulator of the paper's
+// embedded SoC ("Pete" plus the Monte and Billie accelerators and an
+// instruction cache), and an energy model that regenerates every table
+// and figure of the paper's evaluation chapter.
+//
+// Three layers are exposed:
+//
+//   - Cryptography: Curve / Key / Sign / Verify run real ECDSA on real
+//     NIST curve parameters. Signing is deterministic (RFC-6979-style),
+//     so results are reproducible across architectures.
+//
+//   - Simulation: Simulate prices a Sign+Verify workload on one of the
+//     paper's hardware/software configurations, returning latency,
+//     per-component energy, and average power.
+//
+//   - Experiments: Experiment and Experiments regenerate the paper's
+//     tables and figures as formatted text.
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/ec"
+	"repro/internal/ecdsa"
+	"repro/internal/energy"
+	"repro/internal/gf2"
+	"repro/internal/mp"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// Architecture selects a point on the paper's acceleration spectrum
+// (Figure 1.1).
+type Architecture = sim.Arch
+
+// The evaluated configurations.
+const (
+	// ArchBaseline is compiled software on the plain RISC core.
+	ArchBaseline = sim.Baseline
+	// ArchISAExt adds the finite-field instruction-set extensions.
+	ArchISAExt = sim.ISAExt
+	// ArchISAExtCache adds a direct-mapped instruction cache on top.
+	ArchISAExtCache = sim.ISAExtCache
+	// ArchMonte adds the microcoded GF(p) accelerator (prime curves).
+	ArchMonte = sim.WithMonte
+	// ArchBillie adds the fixed-field GF(2^m) accelerator (binary
+	// curves).
+	ArchBillie = sim.WithBillie
+)
+
+// Options exposes the simulation knobs (cache geometry, prefetcher,
+// Monte double-buffering, Billie digit size).
+type Options = sim.Options
+
+// DefaultOptions returns the paper's headline settings: 4 KB cache,
+// no prefetcher, double buffering on, digit size 3.
+func DefaultOptions() Options { return sim.DefaultOptions() }
+
+// SimResult is the outcome of simulating a Sign+Verify on a
+// configuration.
+type SimResult = sim.Result
+
+// Breakdown is per-component energy in Joules.
+type Breakdown = energy.Breakdown
+
+// CurveNames lists all ten supported NIST curves, primes first.
+func CurveNames() []string {
+	out := append([]string{}, ec.PrimeCurveNames...)
+	return append(out, ec.BinaryCurveNames...)
+}
+
+// Curve is a unified handle over prime and binary NIST curves.
+type Curve struct {
+	name   string
+	prime  *ec.PrimeCurve
+	binary *ec.BinaryCurve
+}
+
+// NewCurve returns a named NIST curve ("P-192".."P-521", "B-163".."B-571").
+func NewCurve(name string) (*Curve, error) {
+	if sim.IsPrimeCurve(name) {
+		for _, n := range ec.PrimeCurveNames {
+			if n == name {
+				return &Curve{name: name, prime: ec.NISTPrimeCurve(name, mp.PSNIST)}, nil
+			}
+		}
+	}
+	for _, n := range ec.BinaryCurveNames {
+		if n == name {
+			return &Curve{name: name, binary: ec.NISTBinaryCurve(name, gf2.CLMul)}, nil
+		}
+	}
+	return nil, fmt.Errorf("repro: unknown curve %q", name)
+}
+
+// Name returns the curve name.
+func (c *Curve) Name() string { return c.name }
+
+// IsBinary reports whether the curve is a GF(2^m) curve.
+func (c *Curve) IsBinary() bool { return c.binary != nil }
+
+// SecurityBits returns the approximate symmetric-equivalent security.
+func (c *Curve) SecurityBits() int {
+	var n int
+	if c.prime != nil {
+		n = c.prime.NBits
+	} else {
+		n = c.binary.NBits
+	}
+	return n / 2
+}
+
+// Key is an ECDSA key pair on either curve family.
+type Key struct {
+	curve  *Curve
+	prime  *ecdsa.PrivateKey
+	binary *ecdsa.BinaryPrivateKey
+}
+
+// GenerateKey derives a deterministic key pair from seed material (the
+// simulated device has no OS entropy source, matching the paper's
+// bare-metal environment).
+func (c *Curve) GenerateKey(seed []byte) *Key {
+	k := &Key{curve: c}
+	if c.prime != nil {
+		k.prime = ecdsa.GenerateKey(c.prime, seed)
+	} else {
+		k.binary = ecdsa.GenerateBinaryKey(c.binary, seed)
+	}
+	return k
+}
+
+// Signature is an ECDSA (r, s) pair rendered as hex strings.
+type Signature struct {
+	R, S string
+	raw  *ecdsa.Signature
+}
+
+// Sign produces an ECDSA signature over a message digest (e.g. a SHA-256
+// sum).
+func (k *Key) Sign(digest []byte) (*Signature, error) {
+	var sig *ecdsa.Signature
+	var err error
+	if k.prime != nil {
+		sig, err = ecdsa.Sign(k.prime, digest)
+	} else {
+		sig, err = ecdsa.SignBinary(k.binary, digest)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Signature{R: sig.R.Hex(), S: sig.S.Hex(), raw: sig}, nil
+}
+
+// Verify checks a signature over digest against this key's public point.
+func (k *Key) Verify(digest []byte, sig *Signature) bool {
+	if sig == nil || sig.raw == nil {
+		return false
+	}
+	if k.prime != nil {
+		return ecdsa.Verify(k.prime.Curve, k.prime.Q, digest, sig.raw)
+	}
+	return ecdsa.VerifyBinary(k.binary.Curve, k.binary.Q, digest, sig.raw)
+}
+
+// Simulate prices one ECDSA Sign+Verify on the given architecture and
+// curve, returning latency, energy breakdown and power.
+func Simulate(arch Architecture, curveName string, opt Options) (SimResult, error) {
+	return sim.Run(arch, curveName, opt)
+}
+
+// Experiment regenerates one of the paper's tables or figures by
+// identifier (see ExperimentNames).
+func Experiment(name string) (string, error) {
+	out, ok := report.ByName(name)
+	if !ok {
+		return "", fmt.Errorf("repro: unknown experiment %q (have %v)", name, report.Names())
+	}
+	return out, nil
+}
+
+// ExperimentNames lists the regenerable tables and figures.
+func ExperimentNames() []string { return report.Names() }
+
+// Experiments regenerates the full evaluation chapter.
+func Experiments() string { return report.All() }
