@@ -1,5 +1,6 @@
 // Command dse is the design-space-exploration harness: it regenerates the
-// paper's tables and figures, or runs a single configuration.
+// paper's tables and figures, runs a single configuration, or sweeps the
+// whole design space in parallel and reports the Pareto frontier.
 //
 // Usage:
 //
@@ -7,6 +8,9 @@
 //	dse -exp fig7.1              # one experiment (see -list)
 //	dse -arch monte -curve P-256 # one configuration
 //	dse -list                    # experiment identifiers
+//	dse -sweep                   # full design-space sweep
+//	dse -sweep -workers 8 -json  # machine-readable, 8-way parallel
+//	dse -sweep -pareto           # energy-vs-latency frontier only
 package main
 
 import (
@@ -29,6 +33,11 @@ func main() {
 		pf    = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
 		nodb  = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
 		digit = flag.Int("digit", 3, "Billie multiplier digit size")
+
+		sweep   = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/digit sub-sweeps)")
+		pareto  = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
+		workers = flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
+		jsonOut = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
 	)
 	flag.Parse()
 
@@ -36,6 +45,11 @@ func main() {
 	case *list:
 		for _, n := range repro.ExperimentNames() {
 			fmt.Println(n)
+		}
+	case *sweep:
+		if err := runSweep(*workers, *pareto, *jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
 	case *all:
 		fmt.Print(repro.Experiments())
@@ -69,6 +83,61 @@ func main() {
 	}
 }
 
+// runSweep explores the full design space and prints either the whole
+// point cloud or just its Pareto frontier, as text or JSON.
+func runSweep(workers int, paretoOnly, jsonOut bool) error {
+	res, err := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{Workers: workers})
+	if err != nil {
+		return err
+	}
+	switch {
+	case jsonOut && paretoOnly:
+		out, err := repro.SweepFrontiersJSON(res.Points)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case jsonOut:
+		out, err := res.MarshalJSON()
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case paretoOnly:
+		frontier := repro.Pareto(res.Points)
+		fmt.Printf("energy-vs-latency Pareto frontier: %d of %d unique configurations (grid %d, workers %d, cache %d hit / %d miss)\n",
+			len(frontier), res.Configs, res.RawPoints, res.Workers,
+			res.CacheHits, res.CacheMisses)
+		printPoints(frontier)
+		fmt.Println("\nper-security-level frontiers (fixed key strength):")
+		for _, lf := range repro.ParetoPerSecurity(res.Points) {
+			fmt.Printf("[level %d, ~%d-bit]\n", lf.Level, lf.SecurityBits)
+			printPoints(lf.Points)
+		}
+	default:
+		fmt.Printf("design-space sweep: %d unique configurations (grid %d, workers %d, cache %d hit / %d miss)\n",
+			res.Configs, res.RawPoints, res.Workers,
+			res.CacheHits, res.CacheMisses)
+		printPoints(res.Points)
+	}
+	return nil
+}
+
+// printPoints renders a point table.
+func printPoints(points []repro.SweepPoint) {
+	fmt.Printf("%-16s %-8s %-22s %12s %12s %14s\n",
+		"arch", "curve", "options", "energy(uJ)", "time(ms)", "EDP(nJ.s)")
+	for _, p := range points {
+		label := p.Config.OptionsLabel()
+		if label == "" {
+			label = "-"
+		}
+		fmt.Printf("%-16s %-8s %-22s %12.2f %12.3f %14.4f\n",
+			p.Config.Arch, p.Config.Curve, label,
+			p.EnergyJ*1e6, p.TimeS*1e3, p.EDP*1e12)
+	}
+}
+
 func parseArch(s string) (repro.Architecture, bool) {
 	switch strings.ToLower(s) {
 	case "baseline":
@@ -88,9 +157,9 @@ func parseArch(s string) (repro.Architecture, bool) {
 func printResult(r repro.SimResult) {
 	fmt.Printf("configuration : %s on %s\n", r.Arch, r.Curve)
 	fmt.Printf("sign          : %d cycles (%.2f ms)\n", r.SignCycles,
-		float64(r.SignCycles)*3e-6)
+		r.SignSeconds()*1e3)
 	fmt.Printf("verify        : %d cycles (%.2f ms)\n", r.VerifyCycles,
-		float64(r.VerifyCycles)*3e-6)
+		r.VerifySeconds()*1e3)
 	bd := r.CombinedBreakdown()
 	fmt.Printf("energy (uJ)   : total=%.2f pete=%.2f rom=%.2f ram=%.2f uncore=%.2f accel=%.2f\n",
 		bd.Total()*1e6, bd.Pete*1e6, bd.ROM*1e6, bd.RAM*1e6, bd.Uncore*1e6, bd.Accel*1e6)

@@ -1,0 +1,66 @@
+// Dse-sweep: explore the paper's whole design space in one call, then ask
+// the analysis passes the questions the paper's evaluation chapter
+// answers — what is the energy-vs-latency Pareto frontier, which
+// configuration is optimal at each security level, and which design wins
+// on energy-delay product?
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"repro"
+)
+
+func main() {
+	// 1. Declare the region of the design space to explore. FullSweepSpec
+	// is the complete grid (10 curves x 5 architectures with cache and
+	// digit sub-sweeps); here we also narrow it to show spec composition.
+	spec := repro.FullSweepSpec()
+
+	// 2. Fan it out over a worker pool. The cross-product is pruned
+	// (Monte cannot run binary curves, Billie cannot run prime ones),
+	// deduplicated, and memoized: running the same or an overlapping
+	// sweep again is near-free.
+	res, err := repro.Sweep(spec, repro.SweepOptions{Workers: runtime.GOMAXPROCS(0)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("swept %d unique configurations from a %d-point grid (%d cache hits, %d misses)\n\n",
+		res.Configs, res.RawPoints, res.CacheHits, res.CacheMisses)
+
+	// 3. The global energy-vs-latency Pareto frontier.
+	fmt.Println("Pareto frontier (no configuration is better on both axes):")
+	for _, p := range repro.Pareto(res.Points) {
+		fmt.Printf("  %-10s %-8s %8.2f uJ %8.3f ms\n",
+			p.Config.Arch, p.Config.Curve, p.EnergyJ*1e6, p.TimeS*1e3)
+	}
+
+	// 4. The best design point at each security level — the paper's
+	// headline comparison, computed live.
+	fmt.Println("\nbest configuration per security level (min energy):")
+	for _, best := range repro.BestPerSecurity(res.Points) {
+		p := best.MinEnergy
+		fmt.Printf("  ~%3d-bit: %-10s %-8s %8.2f uJ\n",
+			best.SecurityBits, p.Config.Arch, p.Config.Curve, p.EnergyJ*1e6)
+	}
+
+	// 5. Energy-delay-product ranking: the best compromise designs.
+	fmt.Println("\ntop 3 by energy-delay product:")
+	for i, p := range repro.RankByEDP(res.Points) {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  %d. %-10s %-8s %10.4f nJ.s\n",
+			i+1, p.Config.Arch, p.Config.Curve, p.EDP*1e12)
+	}
+
+	// 6. A second, overlapping sweep is served from the cache.
+	res2, err := repro.Sweep(repro.DefaultSweepSpec(), repro.SweepOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nre-sweep of the default grid: %d hits, %d misses (cached)\n",
+		res2.CacheHits, res2.CacheMisses)
+}

@@ -1,0 +1,167 @@
+// Package dse is the design-space exploration engine: it fans a
+// declarative sweep specification (architectures × curves × cache
+// geometries × accelerator knobs) out over a sharded worker pool, caches
+// simulation results under a canonical configuration hash so repeated and
+// overlapping sweeps are near-free, and runs analysis passes — the
+// energy-vs-latency Pareto frontier, best-configuration-per-security-level
+// selection, and energy-delay-product rankings — over the resulting point
+// cloud.
+//
+// The paper (ISPASS 2014) is itself a design-space exploration: it sweeps
+// the acceleration spectrum of Figure 1.1 across all ten NIST curves and
+// picks energy- and latency-optimal points. This package turns that study
+// into a first-class, parallel, reproducible operation:
+//
+//	spec := dse.FullSweep()
+//	res, err := dse.Sweep(spec, dse.SweepOptions{Workers: 8})
+//	frontier := dse.Pareto(res.Points)
+//
+// Sweep output ordering is deterministic: results are reported in
+// specification order regardless of the worker count, so two sweeps of the
+// same spec are byte-identical even when sharded differently.
+package dse
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"strings"
+
+	"repro/internal/ec"
+	"repro/internal/sim"
+)
+
+// Config is one fully-specified point of the design space: an
+// architecture, a curve, and the simulation options.
+type Config struct {
+	Arch  sim.Arch
+	Curve string
+	Opt   sim.Options
+}
+
+// Canonical returns the config with irrelevant knobs forced to their
+// zero/default values so that physically identical configurations compare
+// and hash equal: cache geometry only matters on cached architectures,
+// double buffering only on Monte, and the digit size only on Billie.
+func (c Config) Canonical() Config {
+	out := c
+	if out.Opt.CacheBytes == 0 {
+		out.Opt.CacheBytes = 4096
+	}
+	if out.Opt.BillieDigit == 0 {
+		out.Opt.BillieDigit = 3
+	}
+	if !out.Arch.HasCache() {
+		out.Opt.CacheBytes = 0
+		out.Opt.Prefetch = false
+		out.Opt.IdealCache = false
+	}
+	if !out.Arch.HasMonte() {
+		out.Opt.DoubleBuffer = false
+	}
+	if out.Arch != sim.WithBillie {
+		out.Opt.BillieDigit = 0
+	}
+	if !out.Arch.HasMonte() && out.Arch != sim.WithBillie {
+		out.Opt.GateAccelIdle = false
+	}
+	return out
+}
+
+// Key renders the canonical configuration as a stable, human-readable
+// string. Two configs with equal keys produce identical simulation
+// results.
+func (c Config) Key() string {
+	cc := c.Canonical()
+	return fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t digit=%d gate=%t",
+		cc.Arch, cc.Curve, cc.Opt.CacheBytes, cc.Opt.Prefetch, cc.Opt.IdealCache,
+		cc.Opt.DoubleBuffer, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
+}
+
+// Hash returns the canonical config hash (hex SHA-256 of Key) used as the
+// result-cache key.
+func (c Config) Hash() string {
+	sum := sha256.Sum256([]byte(c.Key()))
+	return hex.EncodeToString(sum[:])
+}
+
+// OptionsLabel renders only the options that matter for the config's
+// architecture ("4KB+pf no-db D=3" style), or "" when every knob is at
+// its only meaningful value. Shared by every human-readable rendering so
+// new options need only one label site.
+func (c Config) OptionsLabel() string {
+	cc := c.Canonical()
+	var parts []string
+	if cc.Arch.HasCache() {
+		s := fmt.Sprintf("%dKB", cc.Opt.CacheBytes/1024)
+		if cc.Opt.Prefetch {
+			s += "+pf"
+		}
+		parts = append(parts, s)
+	}
+	if cc.Arch.HasMonte() && !cc.Opt.DoubleBuffer {
+		parts = append(parts, "no-db")
+	}
+	if cc.Opt.BillieDigit != 0 {
+		parts = append(parts, fmt.Sprintf("D=%d", cc.Opt.BillieDigit))
+	}
+	if cc.Opt.GateAccelIdle {
+		parts = append(parts, "gated")
+	}
+	return strings.Join(parts, " ")
+}
+
+// Valid reports whether the architecture can run the curve: Monte is a
+// prime-field accelerator, Billie a binary-field one; every other
+// configuration runs both families in software.
+func (c Config) Valid() bool {
+	if sim.IsPrimeCurve(c.Curve) {
+		return c.Arch != sim.WithBillie
+	}
+	return !c.Arch.HasMonte()
+}
+
+// securityBitsPerLevel is the NIST symmetric-equivalent strength of each
+// Figure 7.7 security level (P-521's equivalence is AES-256, not 521/2).
+var securityBitsPerLevel = [...]int{96, 112, 128, 192, 256}
+
+// SecurityLevel returns the paper's security-level index (1..5, the
+// Figure 7.7 pairing) and the symmetric-equivalent bit strength for a
+// curve name, or (0, 0) if unknown.
+func SecurityLevel(curve string) (level, bits int) {
+	for i, pair := range ec.SecurityPairs {
+		if pair.Prime == curve || pair.Binary == curve {
+			return i + 1, securityBitsPerLevel[i]
+		}
+	}
+	return 0, 0
+}
+
+// Point is one evaluated design point: the configuration, the raw
+// simulation result, and the derived exploration metrics.
+type Point struct {
+	Config Config
+	Result sim.Result
+
+	EnergyJ      float64 // combined Sign+Verify energy
+	TimeS        float64 // combined wall-clock latency
+	EDP          float64 // energy-delay product (J·s)
+	SecLevel     int     // paper security level 1..5
+	SecurityBits int     // symmetric-equivalent strength
+}
+
+// newPoint derives the exploration metrics from a simulation result.
+func newPoint(cfg Config, r sim.Result) Point {
+	e := r.TotalEnergy()
+	t := r.TimeSeconds()
+	lvl, bits := SecurityLevel(cfg.Curve)
+	return Point{
+		Config:       cfg,
+		Result:       r,
+		EnergyJ:      e,
+		TimeS:        t,
+		EDP:          e * t,
+		SecLevel:     lvl,
+		SecurityBits: bits,
+	}
+}

@@ -1,0 +1,138 @@
+package dse
+
+import (
+	"encoding/json"
+
+	"repro/internal/energy"
+)
+
+// PointJSON is the machine-readable rendering of a design point, stable
+// for downstream tooling.
+type PointJSON struct {
+	Arch          string  `json:"arch"`
+	Curve         string  `json:"curve"`
+	CacheBytes    int     `json:"cacheBytes,omitempty"`
+	Prefetch      bool    `json:"prefetch,omitempty"`
+	DoubleBuffer  bool    `json:"doubleBuffer,omitempty"`
+	BillieDigit   int     `json:"billieDigit,omitempty"`
+	GateAccelIdle bool    `json:"gateAccelIdle,omitempty"`
+	Hash          string  `json:"hash"`
+	SecLevel      int     `json:"securityLevel,omitempty"`
+	SecurityBits  int     `json:"securityBits,omitempty"`
+	SignCycles    uint64  `json:"signCycles"`
+	VerifyCycles  uint64  `json:"verifyCycles"`
+	TotalCycles   uint64  `json:"totalCycles"`
+	EnergyJ       float64 `json:"energyJ"`
+	TimeS         float64 `json:"timeS"`
+	EDP           float64 `json:"edp"`
+	PowerW        float64 `json:"powerW"`
+}
+
+// SweepJSON is the machine-readable rendering of a full sweep.
+type SweepJSON struct {
+	ClockHz     float64     `json:"clockHz"`
+	RawPoints   int         `json:"rawPoints"`
+	Configs     int         `json:"configs"`
+	Workers     int         `json:"workers"`
+	CacheHits   uint64      `json:"cacheHits"`
+	CacheMisses uint64      `json:"cacheMisses"`
+	Points      []PointJSON `json:"points"`
+	Pareto      []PointJSON `json:"pareto"`
+	// ParetoPerLevel holds the frontier within each security level —
+	// the comparison at fixed key strength.
+	ParetoPerLevel []LevelFrontierJSON `json:"paretoPerLevel"`
+}
+
+// LevelFrontierJSON is the wire form of a per-security-level frontier.
+type LevelFrontierJSON struct {
+	Level        int         `json:"level"`
+	SecurityBits int         `json:"securityBits"`
+	Points       []PointJSON `json:"points"`
+}
+
+// ToJSON converts a point to its wire form.
+func (p Point) ToJSON() PointJSON {
+	return PointJSON{
+		Arch:          p.Config.Arch.String(),
+		Curve:         p.Config.Curve,
+		CacheBytes:    p.Config.Opt.CacheBytes,
+		Prefetch:      p.Config.Opt.Prefetch,
+		DoubleBuffer:  p.Config.Opt.DoubleBuffer,
+		BillieDigit:   p.Config.Opt.BillieDigit,
+		GateAccelIdle: p.Config.Opt.GateAccelIdle,
+		Hash:          p.Config.Hash(),
+		SecLevel:      p.SecLevel,
+		SecurityBits:  p.SecurityBits,
+		SignCycles:    p.Result.SignCycles,
+		VerifyCycles:  p.Result.VerifyCycles,
+		TotalCycles:   p.Result.TotalCycles(),
+		EnergyJ:       p.EnergyJ,
+		TimeS:         p.TimeS,
+		EDP:           p.EDP,
+		PowerW:        p.Result.Power.Total(),
+	}
+}
+
+// MarshalJSON renders the sweep result, including its Pareto frontier, as
+// indented JSON.
+func (r *SweepResult) MarshalJSON() ([]byte, error) {
+	out := SweepJSON{
+		ClockHz:     energy.SystemClockHz,
+		RawPoints:   r.RawPoints,
+		Configs:     r.Configs,
+		Workers:     r.Workers,
+		CacheHits:   r.CacheHits,
+		CacheMisses: r.CacheMisses,
+		Points:      make([]PointJSON, 0, len(r.Points)),
+		Pareto:      make([]PointJSON, 0),
+	}
+	for _, p := range r.Points {
+		out.Points = append(out.Points, p.ToJSON())
+	}
+	out.Pareto, out.ParetoPerLevel = frontierViews(r.Points)
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// PointsJSON renders a bare point list (e.g. a frontier) as indented
+// JSON.
+func PointsJSON(points []Point) ([]byte, error) {
+	out := make([]PointJSON, 0, len(points))
+	for _, p := range points {
+		out = append(out, p.ToJSON())
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// FrontiersJSON is the machine-readable frontier-only rendering: the
+// global energy-vs-latency frontier plus the per-security-level
+// frontiers, mirroring what the text -pareto mode shows.
+type FrontiersJSON struct {
+	Pareto         []PointJSON         `json:"pareto"`
+	ParetoPerLevel []LevelFrontierJSON `json:"paretoPerLevel"`
+}
+
+// FrontierJSONBytes computes both frontier views of a point set and
+// renders them as indented JSON.
+func FrontierJSONBytes(points []Point) ([]byte, error) {
+	var out FrontiersJSON
+	out.Pareto, out.ParetoPerLevel = frontierViews(points)
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// frontierViews computes the global and per-level frontier wire forms.
+func frontierViews(points []Point) ([]PointJSON, []LevelFrontierJSON) {
+	global := make([]PointJSON, 0, len(points))
+	for _, p := range Pareto(points) {
+		global = append(global, p.ToJSON())
+	}
+	var perLevel []LevelFrontierJSON
+	for _, lf := range ParetoPerLevel(points) {
+		j := LevelFrontierJSON{Level: lf.Level, SecurityBits: lf.SecurityBits,
+			Points: make([]PointJSON, 0, len(lf.Points))}
+		for _, p := range lf.Points {
+			j.Points = append(j.Points, p.ToJSON())
+		}
+		perLevel = append(perLevel, j)
+	}
+	return global, perLevel
+}

@@ -1,0 +1,153 @@
+package dse
+
+import "sort"
+
+// dominates reports whether a is at least as good as b on both axes and
+// strictly better on at least one (lower energy, lower latency).
+func dominates(a, b Point) bool {
+	if a.EnergyJ > b.EnergyJ || a.TimeS > b.TimeS {
+		return false
+	}
+	return a.EnergyJ < b.EnergyJ || a.TimeS < b.TimeS
+}
+
+// Pareto returns the energy-vs-latency Pareto frontier of the point set:
+// the subset not dominated by any other point, sorted by ascending
+// latency (and ascending energy for equal latency). The input is not
+// modified. Duplicate-metric points all survive (none strictly dominates
+// the other).
+func Pareto(points []Point) []Point {
+	sorted := make([]Point, len(points))
+	copy(sorted, points)
+	sort.SliceStable(sorted, func(i, j int) bool {
+		if sorted[i].TimeS != sorted[j].TimeS {
+			return sorted[i].TimeS < sorted[j].TimeS
+		}
+		return sorted[i].EnergyJ < sorted[j].EnergyJ
+	})
+	// After sorting by latency, a point is on the frontier iff its
+	// energy is strictly below every earlier point's (single pass),
+	// with ties on both axes kept.
+	var out []Point
+	bestE := 0.0
+	for i, p := range sorted {
+		if i == 0 || p.EnergyJ < bestE {
+			out = append(out, p)
+			bestE = p.EnergyJ
+		} else if p.EnergyJ == bestE && p.TimeS == out[len(out)-1].TimeS {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// LevelFrontier is the Pareto frontier within one security level.
+type LevelFrontier struct {
+	Level        int
+	SecurityBits int
+	Points       []Point
+}
+
+// ParetoPerLevel computes the energy-vs-latency frontier separately for
+// each of the paper's security levels — the comparison that matters when
+// the key strength is a requirement rather than a knob. Points with no
+// known level are ignored; levels are returned ascending.
+func ParetoPerLevel(points []Point) []LevelFrontier {
+	byLevel := make(map[int][]Point)
+	for _, p := range points {
+		if p.SecLevel == 0 {
+			continue
+		}
+		byLevel[p.SecLevel] = append(byLevel[p.SecLevel], p)
+	}
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	out := make([]LevelFrontier, 0, len(levels))
+	for _, l := range levels {
+		ps := byLevel[l]
+		out = append(out, LevelFrontier{
+			Level:        l,
+			SecurityBits: ps[0].SecurityBits,
+			Points:       Pareto(ps),
+		})
+	}
+	return out
+}
+
+// ByEDP returns the points sorted by ascending energy-delay product — the
+// combined-figure-of-merit ranking. Ties break toward lower energy, then
+// the canonical config key for full determinism.
+func ByEDP(points []Point) []Point {
+	out := make([]Point, len(points))
+	copy(out, points)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].EDP != out[j].EDP {
+			return out[i].EDP < out[j].EDP
+		}
+		if out[i].EnergyJ != out[j].EnergyJ {
+			return out[i].EnergyJ < out[j].EnergyJ
+		}
+		return out[i].Config.Key() < out[j].Config.Key()
+	})
+	return out
+}
+
+// BestPerLevel holds the minimum-energy and minimum-latency design points
+// for one of the paper's five security levels.
+type BestPerLevel struct {
+	Level        int
+	SecurityBits int
+	MinEnergy    Point
+	MinLatency   Point
+	MinEDP       Point
+}
+
+// BestPerSecurity returns, for each security level present in the point
+// set, the energy-, latency- and EDP-optimal configurations — the paper's
+// "best design point per key strength" comparison, computed live. Levels
+// are returned in ascending order.
+func BestPerSecurity(points []Point) []BestPerLevel {
+	byLevel := make(map[int][]Point)
+	for _, p := range points {
+		if p.SecLevel == 0 {
+			continue
+		}
+		byLevel[p.SecLevel] = append(byLevel[p.SecLevel], p)
+	}
+	levels := make([]int, 0, len(byLevel))
+	for l := range byLevel {
+		levels = append(levels, l)
+	}
+	sort.Ints(levels)
+	out := make([]BestPerLevel, 0, len(levels))
+	for _, l := range levels {
+		ps := byLevel[l]
+		best := BestPerLevel{Level: l, SecurityBits: ps[0].SecurityBits,
+			MinEnergy: ps[0], MinLatency: ps[0], MinEDP: ps[0]}
+		for _, p := range ps[1:] {
+			if better(p.EnergyJ, best.MinEnergy.EnergyJ, p, best.MinEnergy) {
+				best.MinEnergy = p
+			}
+			if better(p.TimeS, best.MinLatency.TimeS, p, best.MinLatency) {
+				best.MinLatency = p
+			}
+			if better(p.EDP, best.MinEDP.EDP, p, best.MinEDP) {
+				best.MinEDP = p
+			}
+		}
+		out = append(out, best)
+	}
+	return out
+}
+
+// better reports whether candidate metric mc beats incumbent mi, breaking
+// exact ties on the canonical key so selection is deterministic.
+func better(mc, mi float64, c, i Point) bool {
+	if mc != mi {
+		return mc < mi
+	}
+	return c.Config.Key() < i.Config.Key()
+}

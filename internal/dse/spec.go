@@ -1,0 +1,172 @@
+package dse
+
+import (
+	"fmt"
+
+	"repro/internal/ec"
+	"repro/internal/sim"
+)
+
+// SweepSpec declares a region of the design space as sets per axis. The
+// cross-product of all axes is explored; points whose architecture cannot
+// run the curve (Monte on binary fields, Billie on prime fields) are
+// pruned, and points that canonicalize to the same physical configuration
+// (e.g. cache-size variants of an uncached core) are deduplicated, first
+// occurrence winning.
+type SweepSpec struct {
+	Archs  []sim.Arch
+	Curves []string
+
+	// Cache geometry axes (cached architectures only).
+	CacheBytes []int  // I-cache capacities; nil means {4096}
+	Prefetch   []bool // stream-buffer prefetcher; nil means {false}
+
+	// Accelerator axes.
+	DoubleBuffer []bool // Monte DMA/compute overlap; nil means {true}
+	BillieDigits []int  // Billie digit-serial widths; nil means {3}
+
+	// GateAccelIdle sweeps the Chapter 8 idle-gating knob; nil means
+	// {false}.
+	GateAccelIdle []bool
+}
+
+// DefaultSweep is the paper's headline grid: every architecture × every
+// curve at the default knob settings (4 KB cache, no prefetch, double
+// buffering on, digit size 3).
+func DefaultSweep() SweepSpec {
+	return SweepSpec{
+		Archs:  AllArchs(),
+		Curves: AllCurves(),
+	}
+}
+
+// FullSweep is the full design-space grid: 10 curves × 5 architectures
+// with cache (1–16 KB, prefetcher on/off), Monte double-buffering, and
+// Billie digit-size (1–8) sub-sweeps — the complete study behind the
+// paper's evaluation chapter in one specification.
+func FullSweep() SweepSpec {
+	return SweepSpec{
+		Archs:        AllArchs(),
+		Curves:       AllCurves(),
+		CacheBytes:   []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		Prefetch:     []bool{false, true},
+		DoubleBuffer: []bool{true, false},
+		BillieDigits: []int{1, 2, 3, 4, 5, 6, 7, 8},
+	}
+}
+
+// AllArchs lists the paper's five evaluated architectures.
+func AllArchs() []sim.Arch {
+	return []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte, sim.WithBillie}
+}
+
+// AllCurves lists all ten NIST curves, primes first.
+func AllCurves() []string {
+	out := append([]string{}, ec.PrimeCurveNames...)
+	return append(out, ec.BinaryCurveNames...)
+}
+
+// normalized returns the spec with nil axes replaced by their defaults.
+func (s SweepSpec) normalized() SweepSpec {
+	if len(s.Archs) == 0 {
+		s.Archs = AllArchs()
+	}
+	if len(s.Curves) == 0 {
+		s.Curves = AllCurves()
+	}
+	if len(s.CacheBytes) == 0 {
+		s.CacheBytes = []int{4096}
+	}
+	if len(s.Prefetch) == 0 {
+		s.Prefetch = []bool{false}
+	}
+	if len(s.DoubleBuffer) == 0 {
+		s.DoubleBuffer = []bool{true}
+	}
+	if len(s.BillieDigits) == 0 {
+		s.BillieDigits = []int{3}
+	}
+	if len(s.GateAccelIdle) == 0 {
+		s.GateAccelIdle = []bool{false}
+	}
+	return s
+}
+
+// Validate rejects specs with out-of-model axis values before any
+// simulation runs.
+func (s SweepSpec) Validate() error {
+	n := s.normalized()
+	for _, c := range n.Curves {
+		if !ec.KnownCurve(c) {
+			return fmt.Errorf("dse: unknown curve %q", c)
+		}
+	}
+	for _, b := range n.CacheBytes {
+		if b < sim.MinCacheBytes || b > sim.MaxCacheBytes {
+			return fmt.Errorf("dse: cache size %d out of modeled range [%d, %d]",
+				b, sim.MinCacheBytes, sim.MaxCacheBytes)
+		}
+	}
+	for _, d := range n.BillieDigits {
+		if d < sim.MinBillieDigit || d > sim.MaxBillieDigit {
+			return fmt.Errorf("dse: Billie digit size %d out of modeled range [%d, %d]",
+				d, sim.MinBillieDigit, sim.MaxBillieDigit)
+		}
+	}
+	return nil
+}
+
+// RawPoints returns the size of the un-pruned cross-product — the number
+// of raw grid points the spec describes before validity pruning and
+// canonical deduplication.
+func (s SweepSpec) RawPoints() int {
+	n := s.normalized()
+	return len(n.Archs) * len(n.Curves) * len(n.CacheBytes) * len(n.Prefetch) *
+		len(n.DoubleBuffer) * len(n.BillieDigits) * len(n.GateAccelIdle)
+}
+
+// Expand enumerates the cross-product in deterministic specification
+// order (arch-major, then curve, cache, prefetch, double-buffer, digit,
+// gating), pruning invalid architecture/curve pairs and deduplicating
+// canonically identical configurations.
+func (s SweepSpec) Expand() []Config {
+	n := s.normalized()
+	seen := make(map[string]bool)
+	var out []Config
+	for _, a := range n.Archs {
+		for _, c := range n.Curves {
+			for _, cb := range n.CacheBytes {
+				for _, pf := range n.Prefetch {
+					for _, db := range n.DoubleBuffer {
+						for _, dg := range n.BillieDigits {
+							for _, gate := range n.GateAccelIdle {
+								cfg := Config{
+									Arch:  a,
+									Curve: c,
+									Opt: sim.Options{
+										CacheBytes:    cb,
+										Prefetch:      pf,
+										DoubleBuffer:  db,
+										BillieDigit:   dg,
+										GateAccelIdle: gate,
+									},
+								}
+								if !cfg.Valid() {
+									continue
+								}
+								cfg = cfg.Canonical()
+								key := cfg.Key()
+								if seen[key] {
+									continue
+								}
+								seen[key] = true
+								out = append(out, cfg)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

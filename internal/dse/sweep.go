@@ -1,0 +1,103 @@
+package dse
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SweepOptions tunes how a sweep executes.
+type SweepOptions struct {
+	// Workers is the worker-pool width; 0 means GOMAXPROCS.
+	Workers int
+	// Cache is the memoizing result cache; nil means the process-wide
+	// shared cache.
+	Cache *Cache
+}
+
+// SweepResult is the outcome of exploring one SweepSpec.
+type SweepResult struct {
+	Spec SweepSpec
+
+	// Points holds one evaluated point per unique configuration, in
+	// deterministic specification order (independent of Workers).
+	Points []Point
+
+	RawPoints int // size of the un-pruned cross-product
+	Configs   int // unique valid configurations simulated
+	Workers   int // pool width actually used
+
+	// Cache accounting for this sweep only (not cumulative).
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+// Sweep explores the spec's cross-product on a sharded worker pool. Each
+// unique configuration is simulated (or served from cache) exactly once;
+// results are assembled in specification order so output is byte-identical
+// for any worker count.
+func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cfgs := spec.Expand()
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) && len(cfgs) > 0 {
+		workers = len(cfgs)
+	}
+	cache := opt.Cache
+	if cache == nil {
+		cache = sharedCache
+	}
+
+	points := make([]Point, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var hits, misses atomic.Uint64
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				cfg := cfgs[i]
+				res, hit, err := cache.GetOrRun(cfg)
+				if hit {
+					hits.Add(1)
+				} else {
+					misses.Add(1)
+				}
+				if err != nil {
+					errs[i] = fmt.Errorf("dse: %s: %w", cfg.Key(), err)
+					continue
+				}
+				points[i] = newPoint(cfg, res)
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	return &SweepResult{
+		Spec:        spec,
+		Points:      points,
+		RawPoints:   spec.RawPoints(),
+		Configs:     len(cfgs),
+		Workers:     workers,
+		CacheHits:   hits.Load(),
+		CacheMisses: misses.Load(),
+	}, nil
+}

@@ -160,6 +160,21 @@ func NISTBinaryCurve(name string, alg gf2.MulAlg) *BinaryCurve {
 	}
 }
 
+// KnownCurve reports whether name is one of the ten NIST curves.
+func KnownCurve(name string) bool {
+	for _, n := range PrimeCurveNames {
+		if n == name {
+			return true
+		}
+	}
+	for _, n := range BinaryCurveNames {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}
+
 // SecurityPairs maps each prime curve to the binary curve of equivalent
 // security (Figure 7.7's pairing).
 var SecurityPairs = []struct{ Prime, Binary string }{

@@ -33,8 +33,14 @@ func GenerateBinaryKey(curve *ec.BinaryCurve, seed []byte) *BinaryPrivateKey {
 // SignBinary produces an ECDSA signature over digest on a binary curve.
 func SignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, error) {
 	curve := priv.Curve
+	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
+	return signBinaryWith(of, priv, digest)
+}
+
+// signBinaryWith is SignBinary with the caller-supplied order field.
+func signBinaryWith(of *mp.Field, priv *BinaryPrivateKey, digest []byte) (*Signature, error) {
+	curve := priv.Curve
 	n := binaryOrder(curve)
-	of := orderField(curve.Name, n, curve.NBits)
 	e := hashToE(digest, n)
 	for attempt := 0; attempt < 64; attempt++ {
 		mac := hmac.New(sha256.New, priv.D.Bytes())
@@ -71,12 +77,17 @@ func SignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, error) {
 
 // VerifyBinary checks an ECDSA signature on a binary curve.
 func VerifyBinary(curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, digest []byte, sig *Signature) bool {
+	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
+	return verifyBinaryWith(of, curve, pub, digest, sig)
+}
+
+// verifyBinaryWith is VerifyBinary with the caller-supplied order field.
+func verifyBinaryWith(of *mp.Field, curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, digest []byte, sig *Signature) bool {
 	n := binaryOrder(curve)
 	if sig.R.IsZero() || sig.S.IsZero() ||
 		mp.Cmp(sig.R, n) >= 0 || mp.Cmp(sig.S, n) >= 0 {
 		return false
 	}
-	of := orderField(curve.Name, n, curve.NBits)
 	e := hashToE(digest, n)
 	w := mp.New(of.K)
 	of.Inv(w, sig.S)

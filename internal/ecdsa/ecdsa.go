@@ -28,34 +28,13 @@ type Signature struct {
 	R, S mp.Int
 }
 
-// orderFields caches the per-curve group-order fields so the operation
-// profiler can read their counters after a Sign/Verify.
-var orderFields = map[string]*mp.Field{}
-
-// orderField returns a Montgomery field for arithmetic modulo the group
-// order n (no NIST fast reduction exists for the orders).
-func orderField(name string, n mp.Int, bits int) *mp.Field {
-	if f, ok := orderFields[name]; ok {
-		return f
-	}
-	f := mp.NewField("order-"+name, bits, n, mp.CIOS)
-	orderFields[name] = f
-	return f
-}
-
-// resetOrderCounters zeroes the cached order field's counters (profiler).
-func resetOrderCounters(name string) {
-	if f, ok := orderFields[name]; ok {
-		f.Counters.Reset()
-	}
-}
-
-// orderCounters reads the cached order field's counters (profiler).
-func orderCounters(name string) mp.OpCounters {
-	if f, ok := orderFields[name]; ok {
-		return f.Counters
-	}
-	return mp.OpCounters{}
+// newOrderField returns a fresh Montgomery field for arithmetic modulo
+// the group order n (no NIST fast reduction exists for the orders). Each
+// operation gets its own instance so its op counters are private — Sign,
+// Verify and the profilers are safe to run concurrently (the parallel
+// sweep engine relies on this).
+func newOrderField(name string, n mp.Int, bits int) *mp.Field {
+	return mp.NewField("order-"+name, bits, n, mp.CIOS)
 }
 
 // GenerateKey derives a private key deterministically from seed material —
@@ -128,8 +107,14 @@ func hashToE(digest []byte, n mp.Int) mp.Int {
 // Sign produces an ECDSA signature over digest (already hashed message).
 func Sign(priv *PrivateKey, digest []byte) (*Signature, error) {
 	curve := priv.Curve
+	return signWith(newOrderField(curve.Name, curve.N, curve.NBits), priv, digest)
+}
+
+// signWith is Sign with the caller-supplied group-order field (the
+// profiler reads its counters afterwards).
+func signWith(of *mp.Field, priv *PrivateKey, digest []byte) (*Signature, error) {
+	curve := priv.Curve
 	n := curve.N
-	of := orderField(curve.Name, n, curve.NBits)
 	e := hashToE(digest, n)
 	for attempt := 0; attempt < 64; attempt++ {
 		k := nonce(priv.D, e, n)
@@ -175,12 +160,16 @@ func copyTruncate(dst, src mp.Int) {
 
 // Verify checks an ECDSA signature over digest.
 func Verify(curve *ec.PrimeCurve, pub *ec.AffinePoint, digest []byte, sig *Signature) bool {
+	return verifyWith(newOrderField(curve.Name, curve.N, curve.NBits), curve, pub, digest, sig)
+}
+
+// verifyWith is Verify with the caller-supplied group-order field.
+func verifyWith(of *mp.Field, curve *ec.PrimeCurve, pub *ec.AffinePoint, digest []byte, sig *Signature) bool {
 	n := curve.N
 	if sig.R.IsZero() || sig.S.IsZero() ||
 		mp.Cmp(sig.R, n) >= 0 || mp.Cmp(sig.S, n) >= 0 {
 		return false
 	}
-	of := orderField(curve.Name, n, curve.NBits)
 	e := hashToE(digest, n)
 	w := mp.New(of.K)
 	of.Inv(w, sig.S)

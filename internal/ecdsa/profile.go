@@ -10,6 +10,10 @@ import (
 // operations ran. The simulation layer prices these counts with the
 // per-operation cycle costs measured on the Pete simulator or on the
 // accelerator models — the hierarchical methodology of Figure 4.1.
+//
+// Each profiled operation uses a private group-order field, so profiling
+// is safe to run concurrently as long as each goroutine uses its own
+// curve instance (the curve's field counters are per-instance state).
 type OpProfile struct {
 	Field     mp.OpCounters      // curve-field ops (prime curves)
 	Order     mp.OpCounters      // arithmetic modulo the group order
@@ -23,11 +27,11 @@ func ProfileSign(priv *PrivateKey, digest []byte) (*Signature, OpProfile, error)
 	curve := priv.Curve
 	curve.F.Counters.Reset()
 	curve.Ops.Reset()
-	resetOrderCounters(curve.Name)
-	sig, err := Sign(priv, digest)
+	of := newOrderField(curve.Name, curve.N, curve.NBits)
+	sig, err := signWith(of, priv, digest)
 	p := OpProfile{
 		Field:     curve.F.Counters,
-		Order:     orderCounters(curve.Name),
+		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.Bits,
 		OrderBits: curve.NBits,
@@ -39,11 +43,11 @@ func ProfileSign(priv *PrivateKey, digest []byte) (*Signature, OpProfile, error)
 func ProfileVerify(curve *ec.PrimeCurve, pub *ec.AffinePoint, digest []byte, sig *Signature) (bool, OpProfile) {
 	curve.F.Counters.Reset()
 	curve.Ops.Reset()
-	resetOrderCounters(curve.Name)
-	ok := Verify(curve, pub, digest, sig)
+	of := newOrderField(curve.Name, curve.N, curve.NBits)
+	ok := verifyWith(of, curve, pub, digest, sig)
 	p := OpProfile{
 		Field:     curve.F.Counters,
-		Order:     orderCounters(curve.Name),
+		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.Bits,
 		OrderBits: curve.NBits,
@@ -72,14 +76,14 @@ func ProfileSignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, Binar
 	curve := priv.Curve
 	curve.F.Counters.Reset()
 	curve.Ops.Reset()
-	resetOrderCounters(curve.Name)
-	sig, err := SignBinary(priv, digest)
+	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
+	sig, err := signBinaryWith(of, priv, digest)
 	p := BinaryOpProfile{
 		Field: gf2OpCounters{
 			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
 			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
 		},
-		Order:     orderCounters(curve.Name),
+		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.M,
 		OrderBits: curve.NBits,
@@ -91,14 +95,14 @@ func ProfileSignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, Binar
 func ProfileVerifyBinary(curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, digest []byte, sig *Signature) (bool, BinaryOpProfile) {
 	curve.F.Counters.Reset()
 	curve.Ops.Reset()
-	resetOrderCounters(curve.Name)
-	ok := VerifyBinary(curve, pub, digest, sig)
+	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
+	ok := verifyBinaryWith(of, curve, pub, digest, sig)
 	p := BinaryOpProfile{
 		Field: gf2OpCounters{
 			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
 			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
 		},
-		Order:     orderCounters(curve.Name),
+		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.M,
 		OrderBits: curve.NBits,

@@ -108,6 +108,45 @@ func BillieIdle(m int) float64 { return BillieDynamic(m) * BillieIdleFactor }
 // BillieStatic returns Billie's leakage for field degree m.
 func BillieStatic(m int) float64 { return BillieStaticW * float64(m) / billieRefM }
 
+// The digit-serial multiplier's area and switching grow approximately
+// linearly with the digit width d (d × m partial-product AND gates plus
+// the accumulate tree), while the rest of Billie — dominated by the
+// full-width flip-flop register file — is digit-independent. The factors
+// below scale only the multiplier's share of each power component and are
+// normalized to 1.0 at the paper's headline D=3, so default-configuration
+// results are bit-identical to the fixed-power model. This is what makes
+// the digit axis a real energy/latency trade-off: wide digits finish
+// multiplications sooner but clock and leak more area the whole time,
+// which is how the paper lands on a small energy-optimal digit.
+const (
+	billieDigitRef       = 3.0
+	billieMulDynShare    = 0.45 // multiplier share of dynamic power at D=3
+	billieMulStaticShare = 0.50 // multiplier share of leakage at D=3
+)
+
+func billieDigitFactor(share float64, d int) float64 {
+	if d <= 0 {
+		d = int(billieDigitRef)
+	}
+	return (1 - share) + share*float64(d)/billieDigitRef
+}
+
+// BillieDynamicD returns Billie's busy dynamic power for field degree m
+// and multiplier digit size d.
+func BillieDynamicD(m, d int) float64 {
+	return BillieDynamic(m) * billieDigitFactor(billieMulDynShare, d)
+}
+
+// BillieIdleD returns Billie's idle power for field degree m and digit
+// size d (the clock fringe tracks the clocked area).
+func BillieIdleD(m, d int) float64 { return BillieDynamicD(m, d) * BillieIdleFactor }
+
+// BillieStaticD returns Billie's leakage for field degree m and digit
+// size d.
+func BillieStaticD(m, d int) float64 {
+	return BillieStatic(m) * billieDigitFactor(billieMulStaticShare, d)
+}
+
 // ICacheReadEnergy returns J per access of a direct-mapped I-cache of
 // sizeBytes (tag + data arrays).
 func ICacheReadEnergy(sizeBytes int) float64 {

@@ -81,6 +81,32 @@ func TestBilliePowerScalesLinearly(t *testing.T) {
 	}
 }
 
+func TestBillieDigitFactorNormalizedAtHeadline(t *testing.T) {
+	// The digit-aware model must reproduce the fixed-power model exactly
+	// at the paper's headline D=3 (and when the digit is unset), so the
+	// evaluation-chapter numbers are unchanged.
+	for _, m := range []int{163, 283, 571} {
+		for _, d := range []int{0, 3} {
+			if BillieDynamicD(m, d) != BillieDynamic(m) {
+				t.Errorf("BillieDynamicD(%d,%d) != BillieDynamic(%d)", m, d, m)
+			}
+			if BillieIdleD(m, d) != BillieIdle(m) {
+				t.Errorf("BillieIdleD(%d,%d) != BillieIdle(%d)", m, d, m)
+			}
+			if BillieStaticD(m, d) != BillieStatic(m) {
+				t.Errorf("BillieStaticD(%d,%d) != BillieStatic(%d)", m, d, m)
+			}
+		}
+	}
+	// Wider digits clock and leak more area.
+	if BillieDynamicD(163, 8) <= BillieDynamic(163) {
+		t.Error("D=8 should burn more dynamic power than D=3")
+	}
+	if BillieStaticD(163, 1) >= BillieStatic(163) {
+		t.Error("D=1 should leak less than D=3")
+	}
+}
+
 func TestFFAUTableComplete(t *testing.T) {
 	for _, w := range []int{8, 16, 32, 64} {
 		for _, bits := range []int{192, 256, 384} {

@@ -80,6 +80,16 @@ func DefaultOptions() Options {
 	return Options{CacheBytes: 4096, DoubleBuffer: true, BillieDigit: 3}
 }
 
+// Modeled option ranges: the cache and digit-size models are calibrated
+// inside these bounds and Run rejects values outside them rather than
+// silently extrapolating.
+const (
+	MinCacheBytes  = 256
+	MaxCacheBytes  = 64 << 10
+	MinBillieDigit = 1
+	MaxBillieDigit = 8
+)
+
 // HasCache reports whether the configuration includes the I-cache.
 func (a Arch) HasCache() bool {
 	return a == ISAExtCache || a == BaselineCache || a == MonteCache

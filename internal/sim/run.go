@@ -55,6 +55,17 @@ func (r Result) TimeSeconds() float64 {
 	return float64(r.TotalCycles()) / energy.SystemClockHz
 }
 
+// SignSeconds returns the signature wall-clock time at the system clock.
+func (r Result) SignSeconds() float64 {
+	return float64(r.SignCycles) / energy.SystemClockHz
+}
+
+// VerifySeconds returns the verification wall-clock time at the system
+// clock.
+func (r Result) VerifySeconds() float64 {
+	return float64(r.VerifyCycles) / energy.SystemClockHz
+}
+
 // IsPrimeCurve reports whether name is a NIST prime curve.
 func IsPrimeCurve(name string) bool { return strings.HasPrefix(name, "P-") }
 
@@ -109,11 +120,22 @@ func (t *tally) pricePointOps(p ec.PointOpCounters, accel bool) {
 // really verifies — while costs come from the measured kernels and
 // accelerator models.
 func Run(arch Arch, curveName string, opt Options) (Result, error) {
+	if !ec.KnownCurve(curveName) {
+		return Result{}, fmt.Errorf("sim: unknown curve %q", curveName)
+	}
 	if opt.CacheBytes == 0 {
 		opt.CacheBytes = 4096
 	}
 	if opt.BillieDigit == 0 {
 		opt.BillieDigit = 3
+	}
+	if opt.CacheBytes < MinCacheBytes || opt.CacheBytes > MaxCacheBytes {
+		return Result{}, fmt.Errorf("sim: cache size %d out of modeled range [%d, %d]",
+			opt.CacheBytes, MinCacheBytes, MaxCacheBytes)
+	}
+	if opt.BillieDigit < MinBillieDigit || opt.BillieDigit > MaxBillieDigit {
+		return Result{}, fmt.Errorf("sim: Billie digit size %d out of modeled range [%d, %d]",
+			opt.BillieDigit, MinBillieDigit, MaxBillieDigit)
 	}
 	if IsPrimeCurve(curveName) {
 		return runPrime(arch, curveName, opt)
@@ -312,12 +334,12 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billi
 				idle*(T-Tbusy) + static*T
 		case arch == WithBillie:
 			Tbusy := float64(t.accel) / energy.SystemClockHz
-			idleW := energy.BillieIdle(billieM)
-			staticW := energy.BillieStatic(billieM)
+			idleW := energy.BillieIdleD(billieM, opt.BillieDigit)
+			staticW := energy.BillieStaticD(billieM, opt.BillieDigit)
 			if opt.GateAccelIdle {
 				idleW, staticW = 0, staticW*0.1
 			}
-			bd.Accel = energy.BillieDynamic(billieM)*Tbusy +
+			bd.Accel = energy.BillieDynamicD(billieM, opt.BillieDigit)*Tbusy +
 				idleW*(T-Tbusy) + staticW*T
 		}
 		return cycles, bd, missStall, lineReads
@@ -342,7 +364,7 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billi
 		static += energy.MonteStaticW
 	}
 	if arch == WithBillie {
-		static += energy.BillieStatic(billieM)
+		static += energy.BillieStaticD(billieM, opt.BillieDigit)
 	}
 	res.Power = energy.PowerSplit{
 		StaticW:  static,

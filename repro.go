@@ -6,7 +6,7 @@
 // instruction cache), and an energy model that regenerates every table
 // and figure of the paper's evaluation chapter.
 //
-// Three layers are exposed:
+// Four layers are exposed:
 //
 //   - Cryptography: Curve / Key / Sign / Verify run real ECDSA on real
 //     NIST curve parameters. Signing is deterministic (RFC-6979-style),
@@ -16,13 +16,28 @@
 //     paper's hardware/software configurations, returning latency,
 //     per-component energy, and average power.
 //
+//   - Exploration: Sweep fans a declarative SweepSpec (architectures ×
+//     curves × cache geometries × accelerator knobs) out over a parallel
+//     worker pool with a memoizing result cache, and Pareto /
+//     BestPerSecurity / RankByEDP analyze the resulting point cloud —
+//     the paper's whole design-space study as one operation:
+//
+//     res, _ := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{})
+//     frontier := repro.Pareto(res.Points)
+//
+//     Sweep results are deterministic: the same spec produces points in
+//     the same order regardless of worker count, and repeated or
+//     overlapping sweeps are served from the result cache.
+//
 //   - Experiments: Experiment and Experiments regenerate the paper's
-//     tables and figures as formatted text.
+//     tables and figures as formatted text, including the live-sweep
+//     "bestdesign" comparison.
 package repro
 
 import (
 	"fmt"
 
+	"repro/internal/dse"
 	"repro/internal/ec"
 	"repro/internal/ecdsa"
 	"repro/internal/energy"
@@ -170,6 +185,75 @@ func (k *Key) Verify(digest []byte, sig *Signature) bool {
 // curve, returning latency, energy breakdown and power.
 func Simulate(arch Architecture, curveName string, opt Options) (SimResult, error) {
 	return sim.Run(arch, curveName, opt)
+}
+
+// Design-space exploration types, re-exported from internal/dse.
+type (
+	// SweepSpec declares a region of the design space as sets per axis;
+	// the cross-product is explored with invalid and duplicate points
+	// pruned.
+	SweepSpec = dse.SweepSpec
+	// SweepOptions tunes sweep execution (worker count, result cache).
+	SweepOptions = dse.SweepOptions
+	// SweepResult is an executed sweep: evaluated points in
+	// deterministic spec order plus cache accounting.
+	SweepResult = dse.SweepResult
+	// SweepPoint is one evaluated design point with its derived
+	// energy/latency/EDP metrics.
+	SweepPoint = dse.Point
+	// SweepConfig is one fully-specified design point.
+	SweepConfig = dse.Config
+	// BestPerLevel holds the optimal design points for one security
+	// level.
+	BestPerLevel = dse.BestPerLevel
+	// LevelFrontier is the Pareto frontier within one security level.
+	LevelFrontier = dse.LevelFrontier
+)
+
+// DefaultSweepSpec is every architecture × every curve at the paper's
+// headline knob settings.
+func DefaultSweepSpec() SweepSpec { return dse.DefaultSweep() }
+
+// FullSweepSpec is the complete design-space grid: 10 curves × 5
+// architectures with cache (1–16 KB, prefetcher on/off), Monte
+// double-buffering and Billie digit-size (1–8) sub-sweeps.
+func FullSweepSpec() SweepSpec { return dse.FullSweep() }
+
+// Sweep explores the spec's cross-product on a parallel worker pool,
+// serving repeated configurations from the process-wide result cache.
+func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
+	return dse.Sweep(spec, opt)
+}
+
+// Pareto returns the energy-vs-latency Pareto frontier of a point set,
+// sorted by ascending latency.
+func Pareto(points []SweepPoint) []SweepPoint { return dse.Pareto(points) }
+
+// BestPerSecurity returns the energy-, latency- and EDP-optimal design
+// points for each of the paper's five security levels.
+func BestPerSecurity(points []SweepPoint) []BestPerLevel {
+	return dse.BestPerSecurity(points)
+}
+
+// RankByEDP returns the points sorted by ascending energy-delay product.
+func RankByEDP(points []SweepPoint) []SweepPoint { return dse.ByEDP(points) }
+
+// ParetoPerSecurity returns the energy-vs-latency frontier within each
+// security level — the comparison at fixed key strength.
+func ParetoPerSecurity(points []SweepPoint) []LevelFrontier {
+	return dse.ParetoPerLevel(points)
+}
+
+// SweepPointsJSON renders a point list (e.g. a Pareto frontier) as
+// machine-readable indented JSON.
+func SweepPointsJSON(points []SweepPoint) ([]byte, error) {
+	return dse.PointsJSON(points)
+}
+
+// SweepFrontiersJSON renders the global and per-security-level Pareto
+// frontiers of a point set as machine-readable indented JSON.
+func SweepFrontiersJSON(points []SweepPoint) ([]byte, error) {
+	return dse.FrontierJSONBytes(points)
 }
 
 // Experiment regenerates one of the paper's tables or figures by
