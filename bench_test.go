@@ -10,8 +10,11 @@ import (
 	"testing"
 
 	"repro/internal/billie"
+	"repro/internal/dse"
 	"repro/internal/ec"
 	"repro/internal/energy"
+	"repro/internal/monte"
+	"repro/internal/mp"
 	"repro/internal/report"
 	"repro/internal/sim"
 )
@@ -267,6 +270,82 @@ func BenchmarkSec7_7_DoubleBuffer(b *testing.B) {
 				simBench(b, sim.WithMonte, c, o)
 			})
 		}
+	}
+}
+
+// --- Sweep engine: cold vs warm (disk-cached) exploration ---
+
+// benchSweepSpec is a small width-axis sweep (8 unique configurations)
+// used to baseline the cost of exploration with and without the
+// persistent result cache.
+func benchSweepSpec() dse.SweepSpec {
+	return dse.SweepSpec{
+		Archs:       []sim.Arch{sim.WithMonte},
+		Curves:      []string{"P-192", "P-256"},
+		MonteWidths: []int{8, 16, 32, 64},
+	}
+}
+
+// BenchmarkSweepCold measures a from-scratch sweep: every configuration
+// pays the full functional-ECDSA + pricing cost.
+func BenchmarkSweepCold(b *testing.B) {
+	spec := benchSweepSpec()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Sweep(spec, dse.SweepOptions{Cache: dse.NewCache()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Configs), "configs")
+	}
+}
+
+// BenchmarkSweepWarmDisk measures the same sweep served entirely from
+// the on-disk store through a cold in-memory cache — the restart path a
+// persistent CacheDir buys.
+func BenchmarkSweepWarmDisk(b *testing.B) {
+	spec := benchSweepSpec()
+	dir := b.TempDir()
+	if _, err := dse.Sweep(spec, dse.SweepOptions{Cache: dse.NewCache(), CacheDir: dir}); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := dse.Sweep(spec, dse.SweepOptions{Cache: dse.NewCache(), CacheDir: dir})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.CacheMisses != 0 {
+			b.Fatalf("warm sweep missed %d configs", res.CacheMisses)
+		}
+	}
+}
+
+// --- FFAU micro-engine: the width-swept CIOS inner loop ---
+
+// BenchmarkFFAUInnerLoop executes the real CIOS microprogram on the
+// micro-engine at every datapath width — the Equation 5.2 inner loop the
+// width axis sweeps, as host-CPU cost per modeled multiplication.
+func BenchmarkFFAUInnerLoop(b *testing.B) {
+	fld := mp.NISTField("P-256", mp.CIOS)
+	a := mp.MustHex("0123456789abcdef0123456789abcdef0123456789abcdef0123456789abcdef", fld.K)
+	x := mp.MustHex("fedcba9876543210fedcba9876543210fedcba9876543210fedcba9876543210", fld.K)
+	for _, w := range []uint{8, 16, 32, 64} {
+		b.Run("w"+itoa(int(w)), func(b *testing.B) {
+			n := mp.ToDigits(fld.P, w)
+			n0 := mp.N0InvW(n[0], w)
+			ad := mp.ToDigits(a, w)
+			xd := mp.ToDigits(x, w)
+			eng := monte.NewFFAU(w, len(n))
+			var cycles uint64
+			for i := 0; i < b.N; i++ {
+				eng.Cycles = 0
+				if _, err := eng.RunCIOS(ad, xd, n, n0); err != nil {
+					b.Fatal(err)
+				}
+				cycles = eng.Cycles
+			}
+			b.ReportMetric(float64(cycles), "modeled-cycles/montmul")
+		})
 	}
 }
 

@@ -11,6 +11,7 @@
 //	dse -sweep                   # full design-space sweep
 //	dse -sweep -workers 8 -json  # machine-readable, 8-way parallel
 //	dse -sweep -pareto           # energy-vs-latency frontier only
+//	dse -sweep -cache-dir .dse   # persist results; re-sweeps are near-free
 package main
 
 import (
@@ -33,11 +34,13 @@ func main() {
 		pf    = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
 		nodb  = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
 		digit = flag.Int("digit", 3, "Billie multiplier digit size")
+		width = flag.Int("width", 32, "Monte FFAU datapath width in bits (8/16/32/64)")
 
-		sweep   = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/digit sub-sweeps)")
-		pareto  = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
-		workers = flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
-		jsonOut = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
+		sweep    = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/width/digit sub-sweeps)")
+		pareto   = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
+		workers  = flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
+		jsonOut  = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
+		cacheDir = flag.String("cache-dir", "", "with -sweep: persist the result cache in this directory so repeated sweeps are served from disk")
 	)
 	flag.Parse()
 
@@ -47,7 +50,7 @@ func main() {
 			fmt.Println(n)
 		}
 	case *sweep:
-		if err := runSweep(*workers, *pareto, *jsonOut); err != nil {
+		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -71,6 +74,7 @@ func main() {
 		opt.Prefetch = *pf
 		opt.DoubleBuffer = !*nodb
 		opt.BillieDigit = *digit
+		opt.MonteWidth = *width
 		r, err := repro.Simulate(a, *curve, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -85,10 +89,14 @@ func main() {
 
 // runSweep explores the full design space and prints either the whole
 // point cloud or just its Pareto frontier, as text or JSON.
-func runSweep(workers int, paretoOnly, jsonOut bool) error {
-	res, err := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{Workers: workers})
+func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir string) error {
+	res, err := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{Workers: workers, CacheDir: cacheDir})
 	if err != nil {
 		return err
+	}
+	if cacheDir != "" && !jsonOut {
+		fmt.Printf("persistent cache: %d results loaded from %s, %d flushed back\n",
+			res.DiskLoaded, cacheDir, res.DiskSaved)
 	}
 	switch {
 	case jsonOut && paretoOnly:

@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"os"
 	"runtime"
 
 	"repro"
@@ -15,18 +16,33 @@ import (
 
 func main() {
 	// 1. Declare the region of the design space to explore. FullSweepSpec
-	// is the complete grid (10 curves x 5 architectures with cache and
-	// digit sub-sweeps); here we also narrow it to show spec composition.
+	// is the complete grid: 10 curves x 5 architectures with cache
+	// (size/prefetch/ideal), Monte double-buffer and datapath-width
+	// (8/16/32/64-bit, the Table 7.3 axis), Billie digit-size, and
+	// idle-gating sub-sweeps.
 	spec := repro.FullSweepSpec()
 
 	// 2. Fan it out over a worker pool. The cross-product is pruned
 	// (Monte cannot run binary curves, Billie cannot run prime ones),
 	// deduplicated, and memoized: running the same or an overlapping
-	// sweep again is near-free.
-	res, err := repro.Sweep(spec, repro.SweepOptions{Workers: runtime.GOMAXPROCS(0)})
+	// sweep again is near-free. CacheDir makes the memo cache persistent —
+	// a versioned on-disk store is loaded before the sweep and flushed
+	// after, so re-running this program is all cache hits (try it:
+	// the second run prints 0 misses). The CLI equivalent is
+	// `dse -sweep -cache-dir .dse-cache`.
+	cacheDir := os.Getenv("DSE_CACHE_DIR")
+	if cacheDir == "" {
+		cacheDir = ".dse-cache"
+	}
+	res, err := repro.Sweep(spec, repro.SweepOptions{
+		Workers:  runtime.GOMAXPROCS(0),
+		CacheDir: cacheDir,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	fmt.Printf("persistent cache %s: %d results loaded, %d flushed\n",
+		cacheDir, res.DiskLoaded, res.DiskSaved)
 	fmt.Printf("swept %d unique configurations from a %d-point grid (%d cache hits, %d misses)\n\n",
 		res.Configs, res.RawPoints, res.CacheHits, res.CacheMisses)
 
@@ -56,7 +72,20 @@ func main() {
 			i+1, p.Config.Arch, p.Config.Curve, p.EDP*1e12)
 	}
 
-	// 6. A second, overlapping sweep is served from the cache.
+	// 6. Ask a width-axis question the unified model can now answer:
+	// which Monte datapath width is energy-optimal for P-256 at the full
+	// ECDSA system level? (The `dse -exp ffauwidth` report renders the
+	// whole Table 7.3 comparison.)
+	fmt.Println("\nMonte P-256 across FFAU datapath widths:")
+	for _, p := range res.Points {
+		if p.Config.Arch == repro.ArchMonte && p.Config.Curve == "P-256" &&
+			p.Config.Opt.DoubleBuffer && !p.Config.Opt.GateAccelIdle {
+			fmt.Printf("  w=%-3d %8.2f uJ %8.3f ms\n",
+				p.Config.Opt.MonteWidth, p.EnergyJ*1e6, p.TimeS*1e3)
+		}
+	}
+
+	// 7. A second, overlapping sweep is served from the cache.
 	res2, err := repro.Sweep(repro.DefaultSweepSpec(), repro.SweepOptions{})
 	if err != nil {
 		log.Fatal(err)

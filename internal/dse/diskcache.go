@@ -1,0 +1,203 @@
+package dse
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// On-disk result-cache format: a line-oriented JSON file. The first line
+// is a header naming the format and version; every following line is one
+// {hash, key, result} entry. Line-orientation is what makes the store
+// corruption-tolerant: a process killed mid-flush leaves at most one
+// truncated trailing line, which LoadFile drops while keeping every
+// complete entry before it. Writes go through a temp file + rename, so a
+// reader never observes a half-written file at the canonical path.
+//
+// The version covers both the entry schema (sim.Result's JSON shape) and
+// the canonical Key format the hashes were computed under; the model
+// fingerprint covers the simulation and energy models themselves. A
+// mismatch of either means the file is ignored wholesale and rewritten
+// on the next flush — never silently reinterpreted.
+const (
+	diskFormatName    = "dse-result-cache"
+	diskFormatVersion = 1
+
+	// DiskCacheFile is the file name used inside a cache directory.
+	DiskCacheFile = "results.v1.jsonl"
+)
+
+type diskHeader struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	// Model fingerprints the simulation + energy models the results were
+	// computed under, so a store written before a calibration or model
+	// change is discarded instead of silently serving stale numbers.
+	Model string `json:"model"`
+}
+
+// modelFingerprint hashes probe simulations spanning every model path a
+// sweep can persist (software core, ISA extensions, cache + prefetcher,
+// ideal cache, Monte at a non-default width with and without double
+// buffering and gating, Billie at a non-default digit with gating): any
+// model or calibration change that alters results anywhere changes the
+// fingerprint and invalidates on-disk caches. Computed once per process.
+var modelFingerprint = sync.OnceValue(func() string {
+	probes := []struct {
+		arch  sim.Arch
+		curve string
+		opt   func(*sim.Options)
+	}{
+		{sim.Baseline, "P-192", func(o *sim.Options) {}},
+		{sim.ISAExt, "B-163", func(o *sim.Options) {}},
+		{sim.ISAExtCache, "P-256", func(o *sim.Options) { o.CacheBytes = 1 << 10; o.Prefetch = true }},
+		{sim.ISAExtCache, "P-192", func(o *sim.Options) { o.IdealCache = true }},
+		{sim.WithMonte, "P-192", func(o *sim.Options) { o.MonteWidth = 8 }},
+		{sim.WithMonte, "P-256", func(o *sim.Options) { o.DoubleBuffer = false; o.GateAccelIdle = true }},
+		{sim.WithBillie, "B-163", func(o *sim.Options) { o.BillieDigit = 1; o.GateAccelIdle = true }},
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "keyfmt:%s;", Config{Arch: sim.WithMonte, Curve: "P-192"}.Key())
+	for _, p := range probes {
+		o := sim.DefaultOptions()
+		p.opt(&o)
+		r, err := sim.Run(p.arch, p.curve, o)
+		if err != nil {
+			fmt.Fprintf(h, "err:%v;", err)
+			continue
+		}
+		fmt.Fprintf(h, "%s|%s:%d,%d,%.17g,%.17g;", p.arch, p.curve,
+			r.SignCycles, r.VerifyCycles, r.TotalEnergy(), r.Power.StaticW)
+	}
+	return hex.EncodeToString(h.Sum(nil))[:16]
+})
+
+type diskEntry struct {
+	Hash string `json:"hash"`
+	// Key is the human-readable canonical configuration, stored for
+	// auditability (the hash alone is opaque); LoadFile trusts the hash.
+	Key    string     `json:"key"`
+	Result sim.Result `json:"result"`
+}
+
+// DiskCachePath returns the store path inside a cache directory.
+func DiskCachePath(dir string) string { return filepath.Join(dir, DiskCacheFile) }
+
+// LoadFile merges previously persisted results from path into the cache
+// and returns how many entries were actually added (hashes already in
+// memory are left untouched and not counted). A missing file, a foreign,
+// version-mismatched or model-mismatched header, and a truncated or
+// corrupted tail are all non-fatal: the valid prefix (possibly empty) is
+// loaded and the rest ignored, so a damaged or stale store costs
+// re-simulation, never a failed sweep.
+func (c *Cache) LoadFile(path string) (int, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, nil
+		}
+		return 0, fmt.Errorf("dse: open result cache: %w", err)
+	}
+	defer f.Close()
+
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return 0, fmt.Errorf("dse: read result cache: %w", err)
+		}
+		return 0, nil // empty file
+	}
+	var hdr diskHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil ||
+		hdr.Format != diskFormatName || hdr.Version != diskFormatVersion ||
+		hdr.Model != modelFingerprint() {
+		return 0, nil // foreign format, stale schema, or stale model: start fresh
+	}
+
+	n := 0
+	for sc.Scan() {
+		var e diskEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Hash == "" {
+			return n, nil // truncated/corrupted tail: keep what parsed so far
+		}
+		c.mu.Lock()
+		if _, ok := c.m[e.Hash]; !ok {
+			c.m[e.Hash] = cacheEntry{res: e.Result}
+			n++
+		}
+		c.mu.Unlock()
+	}
+	// A real read failure is not corruption: the on-disk suffix may be
+	// intact, and silently succeeding here would let the post-sweep
+	// flush rewrite the store without it. Surface it instead.
+	if err := sc.Err(); err != nil {
+		return n, fmt.Errorf("dse: read result cache: %w", err)
+	}
+	return n, nil
+}
+
+// SaveFile atomically persists every successful cached result to path,
+// creating parent directories as needed, and returns how many entries
+// were written. Entries are written in hash order, so two stores holding
+// the same results are byte-identical — usable for shard exchange and
+// byte-level dedup. Error entries are not persisted — a config that
+// failed to simulate is retried by the next process rather than
+// remembered.
+func (c *Cache) SaveFile(path string) (int, error) {
+	c.mu.Lock()
+	entries := make([]diskEntry, 0, len(c.m))
+	for h, e := range c.m {
+		if e.err != nil {
+			continue
+		}
+		entries = append(entries, diskEntry{Hash: h, Result: e.res})
+	}
+	c.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Hash < entries[j].Hash })
+	for i := range entries {
+		cfg := Config{Arch: entries[i].Result.Arch, Curve: entries[i].Result.Curve, Opt: entries[i].Result.Opt}
+		entries[i].Key = cfg.Key()
+	}
+
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return 0, fmt.Errorf("dse: create cache dir: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return 0, fmt.Errorf("dse: write result cache: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w) // Encode appends the newline delimiter
+	if err := enc.Encode(diskHeader{Format: diskFormatName, Version: diskFormatVersion, Model: modelFingerprint()}); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("dse: write result cache: %w", err)
+	}
+	for _, e := range entries {
+		if err := enc.Encode(e); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("dse: write result cache: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("dse: write result cache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("dse: write result cache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("dse: write result cache: %w", err)
+	}
+	return len(entries), nil
+}

@@ -1,11 +1,13 @@
 // Package dse is the design-space exploration engine: it fans a
 // declarative sweep specification (architectures × curves × cache
-// geometries × accelerator knobs) out over a sharded worker pool, caches
+// geometries × accelerator knobs, including the Monte datapath-width and
+// Billie digit-size axes) out over a sharded worker pool, caches
 // simulation results under a canonical configuration hash so repeated and
-// overlapping sweeps are near-free, and runs analysis passes — the
-// energy-vs-latency Pareto frontier, best-configuration-per-security-level
-// selection, and energy-delay-product rankings — over the resulting point
-// cloud.
+// overlapping sweeps are near-free — optionally persisting that cache to
+// a versioned on-disk store so they stay near-free across process
+// restarts — and runs analysis passes — the energy-vs-latency Pareto
+// frontier, best-configuration-per-security-level selection, and
+// energy-delay-product rankings — over the resulting point cloud.
 //
 // The paper (ISPASS 2014) is itself a design-space exploration: it sweeps
 // the acceleration spectrum of Figure 1.1 across all ten NIST curves and
@@ -41,8 +43,9 @@ type Config struct {
 
 // Canonical returns the config with irrelevant knobs forced to their
 // zero/default values so that physically identical configurations compare
-// and hash equal: cache geometry only matters on cached architectures,
-// double buffering only on Monte, and the digit size only on Billie.
+// and hash equal: cache geometry only matters on cached architectures
+// (and the prefetcher only on a non-ideal cache), double buffering and
+// the datapath width only on Monte, and the digit size only on Billie.
 func (c Config) Canonical() Config {
 	out := c
 	if out.Opt.CacheBytes == 0 {
@@ -51,13 +54,21 @@ func (c Config) Canonical() Config {
 	if out.Opt.BillieDigit == 0 {
 		out.Opt.BillieDigit = 3
 	}
+	if out.Opt.MonteWidth == 0 {
+		out.Opt.MonteWidth = sim.DefaultMonteWidth
+	}
 	if !out.Arch.HasCache() {
 		out.Opt.CacheBytes = 0
 		out.Opt.Prefetch = false
 		out.Opt.IdealCache = false
 	}
+	if out.Opt.IdealCache {
+		// A never-miss cache has no misses to prefetch for.
+		out.Opt.Prefetch = false
+	}
 	if !out.Arch.HasMonte() {
 		out.Opt.DoubleBuffer = false
+		out.Opt.MonteWidth = 0
 	}
 	if out.Arch != sim.WithBillie {
 		out.Opt.BillieDigit = 0
@@ -73,9 +84,9 @@ func (c Config) Canonical() Config {
 // results.
 func (c Config) Key() string {
 	cc := c.Canonical()
-	return fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t digit=%d gate=%t",
+	return fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t w=%d digit=%d gate=%t",
 		cc.Arch, cc.Curve, cc.Opt.CacheBytes, cc.Opt.Prefetch, cc.Opt.IdealCache,
-		cc.Opt.DoubleBuffer, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
+		cc.Opt.DoubleBuffer, cc.Opt.MonteWidth, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
 }
 
 // Hash returns the canonical config hash (hex SHA-256 of Key) used as the
@@ -97,10 +108,16 @@ func (c Config) OptionsLabel() string {
 		if cc.Opt.Prefetch {
 			s += "+pf"
 		}
+		if cc.Opt.IdealCache {
+			s += "+ideal"
+		}
 		parts = append(parts, s)
 	}
 	if cc.Arch.HasMonte() && !cc.Opt.DoubleBuffer {
 		parts = append(parts, "no-db")
+	}
+	if cc.Opt.MonteWidth != 0 && cc.Opt.MonteWidth != sim.DefaultMonteWidth {
+		parts = append(parts, fmt.Sprintf("w=%d", cc.Opt.MonteWidth))
 	}
 	if cc.Opt.BillieDigit != 0 {
 		parts = append(parts, fmt.Sprintf("D=%d", cc.Opt.BillieDigit))

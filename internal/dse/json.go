@@ -13,7 +13,9 @@ type PointJSON struct {
 	Curve         string  `json:"curve"`
 	CacheBytes    int     `json:"cacheBytes,omitempty"`
 	Prefetch      bool    `json:"prefetch,omitempty"`
+	IdealCache    bool    `json:"idealCache,omitempty"`
 	DoubleBuffer  bool    `json:"doubleBuffer,omitempty"`
+	MonteWidth    int     `json:"monteWidth,omitempty"`
 	BillieDigit   int     `json:"billieDigit,omitempty"`
 	GateAccelIdle bool    `json:"gateAccelIdle,omitempty"`
 	Hash          string  `json:"hash"`
@@ -36,6 +38,8 @@ type SweepJSON struct {
 	Workers     int         `json:"workers"`
 	CacheHits   uint64      `json:"cacheHits"`
 	CacheMisses uint64      `json:"cacheMisses"`
+	DiskLoaded  int         `json:"diskLoaded,omitempty"`
+	DiskSaved   int         `json:"diskSaved,omitempty"`
 	Points      []PointJSON `json:"points"`
 	Pareto      []PointJSON `json:"pareto"`
 	// ParetoPerLevel holds the frontier within each security level —
@@ -57,7 +61,9 @@ func (p Point) ToJSON() PointJSON {
 		Curve:         p.Config.Curve,
 		CacheBytes:    p.Config.Opt.CacheBytes,
 		Prefetch:      p.Config.Opt.Prefetch,
+		IdealCache:    p.Config.Opt.IdealCache,
 		DoubleBuffer:  p.Config.Opt.DoubleBuffer,
+		MonteWidth:    p.Config.Opt.MonteWidth,
 		BillieDigit:   p.Config.Opt.BillieDigit,
 		GateAccelIdle: p.Config.Opt.GateAccelIdle,
 		Hash:          p.Config.Hash(),
@@ -83,6 +89,8 @@ func (r *SweepResult) MarshalJSON() ([]byte, error) {
 		Workers:     r.Workers,
 		CacheHits:   r.CacheHits,
 		CacheMisses: r.CacheMisses,
+		DiskLoaded:  r.DiskLoaded,
+		DiskSaved:   r.DiskSaved,
 		Points:      make([]PointJSON, 0, len(r.Points)),
 		Pareto:      make([]PointJSON, 0),
 	}

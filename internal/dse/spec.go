@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/ec"
+	"repro/internal/energy"
 	"repro/internal/sim"
 )
 
@@ -20,9 +21,11 @@ type SweepSpec struct {
 	// Cache geometry axes (cached architectures only).
 	CacheBytes []int  // I-cache capacities; nil means {4096}
 	Prefetch   []bool // stream-buffer prefetcher; nil means {false}
+	IdealCache []bool // never-miss cache bound (Figure 7.11); nil means {false}
 
 	// Accelerator axes.
 	DoubleBuffer []bool // Monte DMA/compute overlap; nil means {true}
+	MonteWidths  []int  // Monte FFAU datapath widths (Table 7.3); nil means {32}
 	BillieDigits []int  // Billie digit-serial widths; nil means {3}
 
 	// GateAccelIdle sweeps the Chapter 8 idle-gating knob; nil means
@@ -32,7 +35,7 @@ type SweepSpec struct {
 
 // DefaultSweep is the paper's headline grid: every architecture × every
 // curve at the default knob settings (4 KB cache, no prefetch, double
-// buffering on, digit size 3).
+// buffering on, digit size 3, datapath width 32).
 func DefaultSweep() SweepSpec {
 	return SweepSpec{
 		Archs:  AllArchs(),
@@ -41,17 +44,22 @@ func DefaultSweep() SweepSpec {
 }
 
 // FullSweep is the full design-space grid: 10 curves × 5 architectures
-// with cache (1–16 KB, prefetcher on/off), Monte double-buffering, and
-// Billie digit-size (1–8) sub-sweeps — the complete study behind the
-// paper's evaluation chapter in one specification.
+// with cache (1–16 KB, prefetcher on/off, ideal-cache bound), Monte
+// double-buffering and datapath width (8–64 bit), Billie digit size
+// (1–8), and accelerator idle gating — the complete study behind the
+// paper's evaluation chapter, including the Table 7.3 width axis and the
+// Figure 7.11 / Chapter 8 what-if knobs, in one specification.
 func FullSweep() SweepSpec {
 	return SweepSpec{
-		Archs:        AllArchs(),
-		Curves:       AllCurves(),
-		CacheBytes:   []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
-		Prefetch:     []bool{false, true},
-		DoubleBuffer: []bool{true, false},
-		BillieDigits: []int{1, 2, 3, 4, 5, 6, 7, 8},
+		Archs:         AllArchs(),
+		Curves:        AllCurves(),
+		CacheBytes:    []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		Prefetch:      []bool{false, true},
+		IdealCache:    []bool{false, true},
+		DoubleBuffer:  []bool{true, false},
+		MonteWidths:   []int{8, 16, 32, 64},
+		BillieDigits:  []int{1, 2, 3, 4, 5, 6, 7, 8},
+		GateAccelIdle: []bool{false, true},
 	}
 }
 
@@ -80,8 +88,14 @@ func (s SweepSpec) normalized() SweepSpec {
 	if len(s.Prefetch) == 0 {
 		s.Prefetch = []bool{false}
 	}
+	if len(s.IdealCache) == 0 {
+		s.IdealCache = []bool{false}
+	}
 	if len(s.DoubleBuffer) == 0 {
 		s.DoubleBuffer = []bool{true}
+	}
+	if len(s.MonteWidths) == 0 {
+		s.MonteWidths = []int{sim.DefaultMonteWidth}
 	}
 	if len(s.BillieDigits) == 0 {
 		s.BillieDigits = []int{3}
@@ -113,6 +127,12 @@ func (s SweepSpec) Validate() error {
 				d, sim.MinBillieDigit, sim.MaxBillieDigit)
 		}
 	}
+	for _, w := range n.MonteWidths {
+		if !sim.KnownMonteWidth(w) {
+			return fmt.Errorf("dse: Monte datapath width %d not a synthesized configuration (want one of %v)",
+				w, energy.MonteWidths)
+		}
+	}
 	return nil
 }
 
@@ -121,49 +141,76 @@ func (s SweepSpec) Validate() error {
 // canonical deduplication.
 func (s SweepSpec) RawPoints() int {
 	n := s.normalized()
-	return len(n.Archs) * len(n.Curves) * len(n.CacheBytes) * len(n.Prefetch) *
-		len(n.DoubleBuffer) * len(n.BillieDigits) * len(n.GateAccelIdle)
+	total := len(n.Archs) * len(n.Curves)
+	for _, ax := range n.optionAxes() {
+		total *= ax.n
+	}
+	return total
+}
+
+// optionAxes returns the sweepable option dimensions of a normalized
+// spec in specification order (cache-major, gating-minor): each axis is
+// its cardinality plus a setter applying the i-th value. Adding a sweep
+// axis means adding one entry here (plus its SweepSpec field, default
+// and validation) — Expand and RawPoints pick it up unchanged.
+func (n SweepSpec) optionAxes() []struct {
+	n   int
+	set func(o *sim.Options, i int)
+} {
+	return []struct {
+		n   int
+		set func(o *sim.Options, i int)
+	}{
+		{len(n.CacheBytes), func(o *sim.Options, i int) { o.CacheBytes = n.CacheBytes[i] }},
+		{len(n.Prefetch), func(o *sim.Options, i int) { o.Prefetch = n.Prefetch[i] }},
+		{len(n.IdealCache), func(o *sim.Options, i int) { o.IdealCache = n.IdealCache[i] }},
+		{len(n.DoubleBuffer), func(o *sim.Options, i int) { o.DoubleBuffer = n.DoubleBuffer[i] }},
+		{len(n.MonteWidths), func(o *sim.Options, i int) { o.MonteWidth = n.MonteWidths[i] }},
+		{len(n.BillieDigits), func(o *sim.Options, i int) { o.BillieDigit = n.BillieDigits[i] }},
+		{len(n.GateAccelIdle), func(o *sim.Options, i int) { o.GateAccelIdle = n.GateAccelIdle[i] }},
+	}
 }
 
 // Expand enumerates the cross-product in deterministic specification
-// order (arch-major, then curve, cache, prefetch, double-buffer, digit,
-// gating), pruning invalid architecture/curve pairs and deduplicating
-// canonically identical configurations.
+// order (arch-major, then curve, then the option axes with the last —
+// gating — varying fastest), pruning invalid architecture/curve pairs
+// and deduplicating canonically identical configurations.
 func (s SweepSpec) Expand() []Config {
 	n := s.normalized()
+	axes := n.optionAxes()
 	seen := make(map[string]bool)
 	var out []Config
+	idx := make([]int, len(axes))
 	for _, a := range n.Archs {
 		for _, c := range n.Curves {
-			for _, cb := range n.CacheBytes {
-				for _, pf := range n.Prefetch {
-					for _, db := range n.DoubleBuffer {
-						for _, dg := range n.BillieDigits {
-							for _, gate := range n.GateAccelIdle {
-								cfg := Config{
-									Arch:  a,
-									Curve: c,
-									Opt: sim.Options{
-										CacheBytes:    cb,
-										Prefetch:      pf,
-										DoubleBuffer:  db,
-										BillieDigit:   dg,
-										GateAccelIdle: gate,
-									},
-								}
-								if !cfg.Valid() {
-									continue
-								}
-								cfg = cfg.Canonical()
-								key := cfg.Key()
-								if seen[key] {
-									continue
-								}
-								seen[key] = true
-								out = append(out, cfg)
-							}
-						}
+			for i := range idx {
+				idx[i] = 0
+			}
+			for {
+				var opt sim.Options
+				for i, ax := range axes {
+					ax.set(&opt, idx[i])
+				}
+				cfg := Config{Arch: a, Curve: c, Opt: opt}
+				if cfg.Valid() {
+					cfg = cfg.Canonical()
+					if key := cfg.Key(); !seen[key] {
+						seen[key] = true
+						out = append(out, cfg)
 					}
+				}
+				// Odometer step: the last axis is least significant.
+				k := len(axes) - 1
+				for k >= 0 {
+					idx[k]++
+					if idx[k] < axes[k].n {
+						break
+					}
+					idx[k] = 0
+					k--
+				}
+				if k < 0 {
+					break
 				}
 			}
 		}

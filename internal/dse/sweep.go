@@ -14,6 +14,12 @@ type SweepOptions struct {
 	// Cache is the memoizing result cache; nil means the process-wide
 	// shared cache.
 	Cache *Cache
+	// CacheDir, when non-empty, makes the result cache persistent:
+	// previously saved results are loaded from CacheDir before the sweep
+	// (counting as cache hits) and the merged cache is flushed back
+	// afterwards, so repeating a sweep is near-free even across process
+	// restarts.
+	CacheDir string
 }
 
 // SweepResult is the outcome of exploring one SweepSpec.
@@ -31,6 +37,10 @@ type SweepResult struct {
 	// Cache accounting for this sweep only (not cumulative).
 	CacheHits   uint64
 	CacheMisses uint64
+
+	// Disk-cache accounting when SweepOptions.CacheDir was set.
+	DiskLoaded int // entries loaded from the persistent store
+	DiskSaved  int // entries flushed back to it
 }
 
 // Sweep explores the spec's cross-product on a sharded worker pool. Each
@@ -52,6 +62,14 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	cache := opt.Cache
 	if cache == nil {
 		cache = sharedCache
+	}
+	var diskLoaded int
+	if opt.CacheDir != "" {
+		n, err := cache.LoadFile(DiskCachePath(opt.CacheDir))
+		if err != nil {
+			return nil, err
+		}
+		diskLoaded = n
 	}
 
 	points := make([]Point, len(cfgs))
@@ -91,6 +109,22 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		}
 	}
 
+	var diskSaved int
+	if opt.CacheDir != "" {
+		// When the store already satisfied the whole sweep and the
+		// in-memory cache holds nothing beyond what it served, the
+		// flush would rewrite identical bytes — skip it.
+		if misses.Load() == 0 && cache.Len() == diskLoaded {
+			diskSaved = diskLoaded
+		} else {
+			n, err := cache.SaveFile(DiskCachePath(opt.CacheDir))
+			if err != nil {
+				return nil, err
+			}
+			diskSaved = n
+		}
+	}
+
 	return &SweepResult{
 		Spec:        spec,
 		Points:      points,
@@ -99,5 +133,7 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		Workers:     workers,
 		CacheHits:   hits.Load(),
 		CacheMisses: misses.Load(),
+		DiskLoaded:  diskLoaded,
+		DiskSaved:   diskSaved,
 	}, nil
 }

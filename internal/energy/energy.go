@@ -13,7 +13,10 @@
 // emerge from simulated counts, not from these constants.
 package energy
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // Clock rates (Chapter 6).
 const (
@@ -86,7 +89,75 @@ const (
 	MonteDynamicW = 3.40e-3 // while computing, 333 MHz
 	MonteIdleW    = 0.60e-3 // clock fringe while idle (no clock gating)
 	MonteStaticW  = 0.16e-3
+	monteRefWidth = 32 // the datapath width the constants above describe
 )
+
+// MonteWidths lists the FFAU datapath widths the paper synthesized
+// (Table 7.3) — the only widths the power model is calibrated for.
+var MonteWidths = []int{8, 16, 32, 64}
+
+// KnownMonteWidth reports whether w is one of the modeled datapath
+// widths.
+func KnownMonteWidth(w int) bool {
+	_, ok := FFAUPower[w]
+	return ok
+}
+
+// nearestFFAUKeySize maps a field size in bits onto the closest key size
+// the Table 7.3 synthesis runs measured ({192, 256, 384}), ties toward
+// the smaller size.
+func nearestFFAUKeySize(bits int) int {
+	best, bestD := 192, 1<<30
+	for _, ks := range []int{192, 256, 384} {
+		d := bits - ks
+		if d < 0 {
+			d = -d
+		}
+		if d < bestD {
+			best, bestD = ks, d
+		}
+	}
+	return best
+}
+
+// monteWidthRatio scales a 32-bit-reference power component to datapath
+// width w using the paper's own Table 7.3 measurements at the nearest
+// synthesized key size. The ratio is exactly 1.0 at the reference width,
+// so default-width results are bit-identical to the fixed-power model —
+// the same calibration discipline as BillieDynamicD at D=3. Unmodeled
+// widths panic rather than silently extrapolating: callers are expected
+// to validate with KnownMonteWidth first (sim.Run does).
+func monteWidthRatio(w, bits int, pick func(FFAUPowerEntry) float64) float64 {
+	if w == 0 {
+		w = monteRefWidth
+	}
+	ks := nearestFFAUKeySize(bits)
+	num, ok := FFAUPower[w][ks]
+	if !ok {
+		panic(fmt.Sprintf("energy: Monte datapath width %d has no Table 7.3 synthesis point (want one of %v)",
+			w, MonteWidths))
+	}
+	return pick(num) / pick(FFAUPower[monteRefWidth][ks])
+}
+
+// MonteDynamicWidth returns Monte's busy dynamic power at datapath width
+// w for a field of the given bit size (333 MHz system clock).
+func MonteDynamicWidth(w, bits int) float64 {
+	return MonteDynamicW * monteWidthRatio(w, bits, func(e FFAUPowerEntry) float64 { return e.DynamicW })
+}
+
+// MonteIdleWidth returns Monte's idle clock-fringe power at width w —
+// the fringe tracks the clocked area, so it scales with the dynamic
+// measurement.
+func MonteIdleWidth(w, bits int) float64 {
+	return MonteIdleW * monteWidthRatio(w, bits, func(e FFAUPowerEntry) float64 { return e.DynamicW })
+}
+
+// MonteStaticWidth returns Monte's leakage at width w (leakage tracks
+// the synthesized cell area, which Table 7.3's static column measures).
+func MonteStaticWidth(w, bits int) float64 {
+	return MonteStaticW * monteWidthRatio(w, bits, func(e FFAUPowerEntry) float64 { return e.StaticW })
+}
 
 // Billie: power grows approximately linearly with the field size because
 // the datapath and the flip-flop register file are full field width

@@ -47,7 +47,8 @@ type Monte struct {
 	F     *mp.Field // CIOS-configured field for functional results
 	Stats Stats
 
-	k int // words per element at the configured width
+	k   int // words per element at the configured datapath width
+	k32 int // words per element on the 32-bit shared-RAM port
 }
 
 // New builds a Monte instance for the given prime field. The field is
@@ -55,11 +56,15 @@ type Monte struct {
 func New(cfg Config, fieldName string) *Monte {
 	f := mp.NISTField(fieldName, mp.CIOS)
 	k := (f.Bits + cfg.WidthBits - 1) / cfg.WidthBits
-	return &Monte{Cfg: cfg, F: f, k: k}
+	return &Monte{Cfg: cfg, F: f, k: k, k32: (f.Bits + 31) / 32}
 }
 
 // K returns the element word count at the configured datapath width.
 func (m *Monte) K() int { return m.k }
+
+// K32 returns the element word count on the 32-bit shared-RAM port —
+// the DMA transfer unit, independent of the FFAU's internal width.
+func (m *Monte) K32() int { return m.k32 }
 
 // CIOSCycles is Equation 5.2: the FFAU compute cycles for one Montgomery
 // multiplication at word length k and pipeline depth p.
@@ -87,14 +92,15 @@ func (m *Monte) MontMul(z, a, b mp.Int) uint64 {
 	m.F.MontMul(z, a, b)
 	m.Stats.MulOps++
 	compute := CIOSCycles(m.k, PipelineDepth)
-	// Loads: A and B (k words each; N is resident). Store: k words.
-	dma := m.dmaCycles(3 * m.k)
+	// Loads: A and B (k32 words each over the 32-bit port; N is
+	// resident). Store: k32 words.
+	dma := m.dmaCycles(3 * m.k32)
 	m.Stats.ComputeCycles += compute
 	m.Stats.DMACycles += dma
 	m.Stats.ScratchReads += 3 * compute // three operand reads per core cycle
 	m.Stats.ScratchWrites += compute
-	m.Stats.SharedReads += uint64(2 * m.k)
-	m.Stats.SharedWrites += uint64(m.k)
+	m.Stats.SharedReads += uint64(2 * m.k32)
+	m.Stats.SharedWrites += uint64(m.k32)
 	var busy uint64
 	if m.Cfg.DoubleBuffer {
 		// Data movement overlaps computation; the longer one wins
@@ -123,13 +129,13 @@ func (m *Monte) Sub(z, a, b mp.Int) uint64 {
 
 func (m *Monte) accountLinear() uint64 {
 	compute := AddSubCycles(m.k, PipelineDepth)
-	dma := m.dmaCycles(3 * m.k)
+	dma := m.dmaCycles(3 * m.k32)
 	m.Stats.ComputeCycles += compute
 	m.Stats.DMACycles += dma
 	m.Stats.ScratchReads += 2 * compute
 	m.Stats.ScratchWrites += compute
-	m.Stats.SharedReads += uint64(2 * m.k)
-	m.Stats.SharedWrites += uint64(m.k)
+	m.Stats.SharedReads += uint64(2 * m.k32)
+	m.Stats.SharedWrites += uint64(m.k32)
 	var busy uint64
 	if m.Cfg.DoubleBuffer {
 		busy = maxU64(compute, dma) + issueOverhead
@@ -167,12 +173,12 @@ func (m *Monte) InvFermat(z, a mp.Int) uint64 {
 		}
 	}
 	steps := uint64(bits-1) + uint64(ones)
-	busy = steps*(compute+2) + m.dmaCycles(2*m.k) + issueOverhead
+	busy = steps*(compute+2) + m.dmaCycles(2*m.k32) + issueOverhead
 	m.Stats.ComputeCycles += steps * compute
 	m.Stats.ScratchReads += 3 * steps * compute
 	m.Stats.ScratchWrites += steps * compute
-	m.Stats.SharedReads += uint64(m.k)
-	m.Stats.SharedWrites += uint64(m.k)
+	m.Stats.SharedReads += uint64(m.k32)
+	m.Stats.SharedWrites += uint64(m.k32)
 	m.Stats.BusyCycles += busy
 	m.Stats.MulOps += steps
 	return busy

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The golden-file harness pins the exact rendered output of the
+// sweep-backed report experiments. Every number in these reports is
+// deterministic (the simulator is a pure function of the configuration),
+// so any diff is a real behavior change: either an intended model change
+// (regenerate with -update and review the diff in the commit) or a
+// regression.
+//
+//	go test ./internal/report/ -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/ from current output")
+
+// volatileLine masks the one legitimately run-dependent quantity: cache
+// hit/miss accounting depends on which experiments ran earlier in the
+// same process (they share the process-wide result cache).
+var volatileLine = regexp.MustCompile(`\d+ cache hits, \d+ misses`)
+
+func normalize(s string) string {
+	return volatileLine.ReplaceAllString(s, "N cache hits, N misses")
+}
+
+func goldenExperiments() map[string]func() string {
+	return map[string]func() string{
+		"bestdesign": BestDesign,
+		"ffauwidth":  FFAUWidthStudy,
+	}
+}
+
+func TestGoldenReports(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden reports run full design-space sweeps")
+	}
+	for name, fn := range goldenExperiments() {
+		t.Run(name, func(t *testing.T) {
+			got := normalize(fn())
+			path := filepath.Join("testdata", name+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %s (%d bytes)", path, len(got))
+				return
+			}
+			wantB, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (regenerate with -update): %v", err)
+			}
+			want := normalize(string(wantB))
+			if got == want {
+				return
+			}
+			// Line-by-line diff so a failure names the first divergent
+			// row instead of dumping two multi-KB blobs.
+			gotLines := strings.Split(got, "\n")
+			wantLines := strings.Split(want, "\n")
+			n := len(gotLines)
+			if len(wantLines) > n {
+				n = len(wantLines)
+			}
+			diffs := 0
+			for i := 0; i < n; i++ {
+				var g, w string
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if g == w {
+					continue
+				}
+				diffs++
+				if diffs <= 10 {
+					t.Errorf("line %d:\n  got:  %q\n  want: %q", i+1, g, w)
+				}
+			}
+			t.Errorf("%s: %d of %d lines differ from %s (regenerate with -update if intended)",
+				name, diffs, n, path)
+		})
+	}
+}
+
+// TestGoldenFilesExist keeps the fixtures from silently disappearing:
+// an -update run that failed half-way, or an overeager cleanup, should
+// fail fast even under -short.
+func TestGoldenFilesExist(t *testing.T) {
+	for name := range goldenExperiments() {
+		path := filepath.Join("testdata", name+".golden")
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if st.Size() < 200 {
+			t.Errorf("%s: suspiciously small golden file (%d bytes)", name, st.Size())
+		}
+	}
+}

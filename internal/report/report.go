@@ -460,7 +460,7 @@ func All() string {
 		Fig7_1(), Fig7_2(), Fig7_3(), Fig7_4(), Fig7_5(), Fig7_6(),
 		Fig7_7(), Fig7_8(), Fig7_9(), Fig7_10(), Fig7_11(), Fig7_12(),
 		Fig7_13(), Fig7_14(), Fig7_15(), DoubleBufferStudy(), GatingStudy(),
-		BestDesign(),
+		FFAUWidthStudy(), BestDesign(),
 	}
 	return strings.Join(parts, "\n")
 }
@@ -477,6 +477,7 @@ func ByName(name string) (string, bool) {
 		"table7.4": Table7_4, "table7.5": Table7_5,
 		"doublebuffer": DoubleBufferStudy,
 		"gating":       GatingStudy,
+		"ffauwidth":    FFAUWidthStudy,
 		"bestdesign":   BestDesign,
 	}
 	f, ok := m[strings.ToLower(name)]
@@ -493,6 +494,6 @@ func Names() []string {
 		"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5", "fig7.6",
 		"fig7.7", "fig7.8", "fig7.9", "fig7.10", "fig7.11", "fig7.12",
 		"fig7.13", "fig7.14", "fig7.15", "doublebuffer", "gating",
-		"bestdesign",
+		"ffauwidth", "bestdesign",
 	}
 }

@@ -14,7 +14,11 @@
 // glue) are the documented calibration constants in calibrate.go.
 package sim
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/energy"
+)
 
 // Arch is a hardware/software configuration on the Figure 1.1 spectrum.
 type Arch int
@@ -69,6 +73,10 @@ type Options struct {
 	IdealCache   bool // never-miss cache (Figure 7.11)
 	DoubleBuffer bool // Monte DMA/compute overlap (Section 7.7)
 	BillieDigit  int  // digit-serial multiplier width (default 3)
+	// MonteWidth is the FFAU datapath width in bits (8/16/32/64; default
+	// 32, the system configuration of Section 7.1). Narrower datapaths
+	// trade Equation 5.2 cycles against the Table 7.3 power/area points.
+	MonteWidth int
 	// GateAccelIdle clock/power-gates the accelerator while idle — the
 	// paper's stated future work ("we plan on modeling our system such
 	// that we can turn off Billie when she is not in use", Chapter 8).
@@ -77,18 +85,25 @@ type Options struct {
 
 // DefaultOptions matches the headline evaluation settings.
 func DefaultOptions() Options {
-	return Options{CacheBytes: 4096, DoubleBuffer: true, BillieDigit: 3}
+	return Options{CacheBytes: 4096, DoubleBuffer: true, BillieDigit: 3, MonteWidth: DefaultMonteWidth}
 }
 
-// Modeled option ranges: the cache and digit-size models are calibrated
-// inside these bounds and Run rejects values outside them rather than
-// silently extrapolating.
+// Modeled option ranges: the cache, digit-size and datapath-width models
+// are calibrated inside these bounds and Run rejects values outside them
+// rather than silently extrapolating.
 const (
-	MinCacheBytes  = 256
-	MaxCacheBytes  = 64 << 10
-	MinBillieDigit = 1
-	MaxBillieDigit = 8
+	MinCacheBytes     = 256
+	MaxCacheBytes     = 64 << 10
+	MinBillieDigit    = 1
+	MaxBillieDigit    = 8
+	MinMonteWidth     = 8
+	MaxMonteWidth     = 64
+	DefaultMonteWidth = 32
 )
+
+// KnownMonteWidth reports whether w is a synthesized FFAU datapath width
+// (8/16/32/64, Table 7.3) — the widths the power model is calibrated for.
+func KnownMonteWidth(w int) bool { return energy.KnownMonteWidth(w) }
 
 // HasCache reports whether the configuration includes the I-cache.
 func (a Arch) HasCache() bool {

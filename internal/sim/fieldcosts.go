@@ -76,9 +76,17 @@ func PrimeFieldCosts(arch Arch, fieldName string, bits, k int, opt Options) Fiel
 			Inv: beeaCost(bits, k),
 		}
 	case WithMonte, MonteCache:
-		mo := monte.New(monte.Config{WidthBits: 32, DoubleBuffer: opt.DoubleBuffer}, fieldName)
+		w := opt.MonteWidth
+		if w == 0 {
+			w = DefaultMonteWidth
+		}
+		mo := monte.New(monte.Config{WidthBits: w, DoubleBuffer: opt.DoubleBuffer}, fieldName)
+		// Compute time is Equation 5.2 at the configured datapath width;
+		// DMA always crosses the 32-bit shared-RAM port regardless of the
+		// FFAU's internal width, so its word count is width-independent.
 		cc := monte.CIOSCycles(mo.K(), monte.PipelineDepth)
-		dma := uint64(3 * mo.K())
+		k32 := mo.K32()
+		dma := uint64(3 * k32)
 		var busy uint64
 		if opt.DoubleBuffer {
 			busy = maxU64(cc, dma) + 8
@@ -88,7 +96,7 @@ func PrimeFieldCosts(arch Arch, fieldName string, bits, k int, opt Options) Fiel
 		mulCyc := busy + accelCallOverheadCycles
 		// Pete only issues a handful of instructions per op; shared-RAM
 		// traffic is the DMA's 3k words.
-		mul := PerOp{Cycles: mulCyc, Insts: 12, RAMReads: uint64(2 * mo.K()), RAMWrites: uint64(mo.K()), Accel: busy}
+		mul := PerOp{Cycles: mulCyc, Insts: 12, RAMReads: uint64(2 * k32), RAMWrites: uint64(k32), Accel: busy}
 		addCyc := monte.AddSubCycles(mo.K(), monte.PipelineDepth)
 		var addBusy uint64
 		if opt.DoubleBuffer {
@@ -97,12 +105,12 @@ func PrimeFieldCosts(arch Arch, fieldName string, bits, k int, opt Options) Fiel
 			addBusy = addCyc + dma + 8
 		}
 		add := PerOp{Cycles: addBusy + accelCallOverheadCycles, Insts: 10,
-			RAMReads: uint64(2 * mo.K()), RAMWrites: uint64(mo.K()), Accel: addBusy}
+			RAMReads: uint64(2 * k32), RAMWrites: uint64(k32), Accel: addBusy}
 		// Fermat inversion in microcode: ~bits squarings + ~bits/2
 		// multiplies, operands resident (Section 7.1's O(n^3) term).
 		steps := uint64(bits-1) + uint64(bits)/2
 		inv := PerOp{Cycles: steps*(cc+2) + dma + 8, Insts: 20,
-			RAMReads: uint64(mo.K()), RAMWrites: uint64(mo.K()),
+			RAMReads: uint64(k32), RAMWrites: uint64(k32),
 			Accel: steps * (cc + 2)}
 		return FieldCosts{Mul: mul, Sqr: mul, Add: add, Sub: add, Inv: inv}
 	}

@@ -129,6 +129,9 @@ func Run(arch Arch, curveName string, opt Options) (Result, error) {
 	if opt.BillieDigit == 0 {
 		opt.BillieDigit = 3
 	}
+	if opt.MonteWidth == 0 {
+		opt.MonteWidth = DefaultMonteWidth
+	}
 	if opt.CacheBytes < MinCacheBytes || opt.CacheBytes > MaxCacheBytes {
 		return Result{}, fmt.Errorf("sim: cache size %d out of modeled range [%d, %d]",
 			opt.CacheBytes, MinCacheBytes, MaxCacheBytes)
@@ -136,6 +139,10 @@ func Run(arch Arch, curveName string, opt Options) (Result, error) {
 	if opt.BillieDigit < MinBillieDigit || opt.BillieDigit > MaxBillieDigit {
 		return Result{}, fmt.Errorf("sim: Billie digit size %d out of modeled range [%d, %d]",
 			opt.BillieDigit, MinBillieDigit, MaxBillieDigit)
+	}
+	if !KnownMonteWidth(opt.MonteWidth) {
+		return Result{}, fmt.Errorf("sim: Monte datapath width %d not a synthesized configuration (want one of %v)",
+			opt.MonteWidth, energy.MonteWidths)
 	}
 	if IsPrimeCurve(curveName) {
 		return runPrime(arch, curveName, opt)
@@ -188,7 +195,7 @@ func runPrime(arch Arch, curveName string, opt Options) (Result, error) {
 	accel := arch.HasMonte()
 	signT := priceProfile(signProf, fieldCosts, orderCosts, accel)
 	verT := priceProfile(verProf, fieldCosts, orderCosts, accel)
-	return assemble(arch, curveName, opt, signT, verT, 0)
+	return assemble(arch, curveName, opt, signT, verT, curve.F.Bits)
 }
 
 func runBinary(arch Arch, curveName string, opt Options) (Result, error) {
@@ -268,7 +275,9 @@ func priceBinaryProfile(p ecdsa.BinaryOpProfile, fc, oc FieldCosts, accel bool) 
 }
 
 // assemble applies the cache model and converts tallies into energy.
-func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billieM int) (Result, error) {
+// fieldBits is the curve field size: Billie's register file scales with
+// it and Monte's width-aware power model interpolates Table 7.3 by it.
+func assemble(arch Arch, curveName string, opt Options, signT, verT tally, fieldBits int) (Result, error) {
 	res := Result{Arch: arch, Curve: curveName, Opt: opt}
 
 	apply := func(t tally) (uint64, energy.Breakdown, uint64, uint64) {
@@ -324,22 +333,23 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billi
 		switch {
 		case arch.HasMonte():
 			Tbusy := float64(t.accel) / energy.SystemClockHz
-			idle, static := energy.MonteIdleW, energy.MonteStaticW
+			idle := energy.MonteIdleWidth(opt.MonteWidth, fieldBits)
+			static := energy.MonteStaticWidth(opt.MonteWidth, fieldBits)
 			if opt.GateAccelIdle {
 				// Clock gating kills the idle clock fringe; power
 				// gating cuts leakage to a retention trickle.
 				idle, static = 0, static*0.1
 			}
-			bd.Accel = energy.MonteDynamicW*Tbusy +
+			bd.Accel = energy.MonteDynamicWidth(opt.MonteWidth, fieldBits)*Tbusy +
 				idle*(T-Tbusy) + static*T
 		case arch == WithBillie:
 			Tbusy := float64(t.accel) / energy.SystemClockHz
-			idleW := energy.BillieIdleD(billieM, opt.BillieDigit)
-			staticW := energy.BillieStaticD(billieM, opt.BillieDigit)
+			idleW := energy.BillieIdleD(fieldBits, opt.BillieDigit)
+			staticW := energy.BillieStaticD(fieldBits, opt.BillieDigit)
 			if opt.GateAccelIdle {
 				idleW, staticW = 0, staticW*0.1
 			}
-			bd.Accel = energy.BillieDynamicD(billieM, opt.BillieDigit)*Tbusy +
+			bd.Accel = energy.BillieDynamicD(fieldBits, opt.BillieDigit)*Tbusy +
 				idleW*(T-Tbusy) + staticW*T
 		}
 		return cycles, bd, missStall, lineReads
@@ -360,11 +370,17 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, billi
 	if arch.HasCache() {
 		static += energy.ICacheLeakage(opt.CacheBytes)
 	}
+	// Gating cuts accelerator leakage to the same retention trickle the
+	// energy accounting above charges.
+	accelStaticScale := 1.0
+	if opt.GateAccelIdle {
+		accelStaticScale = 0.1
+	}
 	if arch.HasMonte() {
-		static += energy.MonteStaticW
+		static += energy.MonteStaticWidth(opt.MonteWidth, fieldBits) * accelStaticScale
 	}
 	if arch == WithBillie {
-		static += energy.BillieStaticD(billieM, opt.BillieDigit)
+		static += energy.BillieStaticD(fieldBits, opt.BillieDigit) * accelStaticScale
 	}
 	res.Power = energy.PowerSplit{
 		StaticW:  static,

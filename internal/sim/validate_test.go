@@ -1,0 +1,140 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunValidation walks every rejected knob combination and asserts
+// both that Run refuses it and that the error message names the
+// offending field — a user sweeping four axes needs to know *which* one
+// was out of range.
+func TestRunValidation(t *testing.T) {
+	mut := func(f func(*Options)) Options {
+		o := DefaultOptions()
+		f(&o)
+		return o
+	}
+	cases := []struct {
+		name    string
+		arch    Arch
+		curve   string
+		opt     Options
+		wantSub string // substring the error must contain (names the field)
+	}{
+		{
+			name: "unknown curve", arch: Baseline, curve: "P-999",
+			opt: DefaultOptions(), wantSub: `unknown curve "P-999"`,
+		},
+		{
+			name: "empty curve", arch: Baseline, curve: "",
+			opt: DefaultOptions(), wantSub: "unknown curve",
+		},
+		{
+			name: "cache below modeled range", arch: ISAExtCache, curve: "P-192",
+			opt: mut(func(o *Options) { o.CacheBytes = 128 }), wantSub: "cache size 128",
+		},
+		{
+			name: "cache above modeled range", arch: ISAExtCache, curve: "P-192",
+			opt: mut(func(o *Options) { o.CacheBytes = 128 << 10 }), wantSub: "cache size 131072",
+		},
+		{
+			name: "digit below modeled range", arch: WithBillie, curve: "B-163",
+			opt: mut(func(o *Options) { o.BillieDigit = -1 }), wantSub: "digit size -1",
+		},
+		{
+			name: "digit above modeled range", arch: WithBillie, curve: "B-163",
+			opt: mut(func(o *Options) { o.BillieDigit = 9 }), wantSub: "digit size 9",
+		},
+		{
+			name: "width not synthesized (12)", arch: WithMonte, curve: "P-192",
+			opt: mut(func(o *Options) { o.MonteWidth = 12 }), wantSub: "datapath width 12",
+		},
+		{
+			name: "width below range", arch: WithMonte, curve: "P-192",
+			opt: mut(func(o *Options) { o.MonteWidth = 4 }), wantSub: "datapath width 4",
+		},
+		{
+			name: "width above range", arch: WithMonte, curve: "P-192",
+			opt: mut(func(o *Options) { o.MonteWidth = 128 }), wantSub: "datapath width 128",
+		},
+		{
+			name: "width negative", arch: WithMonte, curve: "P-192",
+			opt: mut(func(o *Options) { o.MonteWidth = -32 }), wantSub: "datapath width -32",
+		},
+		{
+			name: "Billie on a prime curve", arch: WithBillie, curve: "P-256",
+			opt: DefaultOptions(), wantSub: "Billie is a binary-field accelerator",
+		},
+		{
+			name: "Monte on a binary curve", arch: WithMonte, curve: "B-283",
+			opt: DefaultOptions(), wantSub: "Monte is a prime-field accelerator",
+		},
+		{
+			name: "Monte+icache on a binary curve", arch: MonteCache, curve: "B-163",
+			opt: DefaultOptions(), wantSub: "Monte is a prime-field accelerator",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Run(tc.arch, tc.curve, tc.opt)
+			if err == nil {
+				t.Fatalf("Run(%v, %q, %+v) accepted an invalid configuration", tc.arch, tc.curve, tc.opt)
+			}
+			if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("error %q does not name the offending field (want substring %q)",
+					err, tc.wantSub)
+			}
+		})
+	}
+}
+
+// TestRunZeroOptionsDefault pins the zero-value defaulting contract:
+// zero knobs mean the paper's headline settings, and the returned
+// Result records the defaulted values so cached results are
+// self-describing.
+func TestRunZeroOptionsDefault(t *testing.T) {
+	zero, err := Run(WithMonte, "P-192", Options{DoubleBuffer: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := Run(WithMonte, "P-192", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zero.SignCycles != def.SignCycles || zero.TotalEnergy() != def.TotalEnergy() {
+		t.Error("zero-value options must behave exactly like DefaultOptions")
+	}
+	if zero.Opt.CacheBytes != 4096 || zero.Opt.BillieDigit != 3 || zero.Opt.MonteWidth != DefaultMonteWidth {
+		t.Errorf("Result.Opt should record defaulted knobs, got %+v", zero.Opt)
+	}
+}
+
+// TestMonteWidthModel pins the width axis semantics: Equation 5.2 makes
+// narrow datapaths quadratically slower, the Table 7.3 scaling makes
+// them draw less accelerator power, and the default width is exactly the
+// fixed-model behavior.
+func TestMonteWidthModel(t *testing.T) {
+	results := make(map[int]Result)
+	for _, w := range []int{8, 16, 32, 64} {
+		o := DefaultOptions()
+		o.MonteWidth = w
+		results[w] = run(t, WithMonte, "P-256", o)
+	}
+	if !(results[8].TotalCycles() > results[16].TotalCycles() &&
+		results[16].TotalCycles() > results[32].TotalCycles() &&
+		results[32].TotalCycles() > results[64].TotalCycles()) {
+		t.Error("cycles must fall monotonically with datapath width")
+	}
+	// Accelerator energy per busy cycle must grow with width (more area
+	// switching); compare average accelerator power over busy time.
+	pw := func(w int) float64 {
+		r := results[w]
+		busyT := float64(r.AccelBusy) / 333e6
+		return r.CombinedBreakdown().Accel / busyT
+	}
+	if !(pw(8) < pw(32) && pw(32) < pw(64)) {
+		t.Errorf("accelerator power should grow with width: w8=%.3g w32=%.3g w64=%.3g",
+			pw(8), pw(32), pw(64))
+	}
+}

@@ -17,8 +17,9 @@
 //     per-component energy, and average power.
 //
 //   - Exploration: Sweep fans a declarative SweepSpec (architectures ×
-//     curves × cache geometries × accelerator knobs) out over a parallel
-//     worker pool with a memoizing result cache, and Pareto /
+//     curves × cache geometries × accelerator knobs, including Monte's
+//     datapath width and Billie's digit size) out over a parallel worker
+//     pool with a memoizing, optionally disk-backed result cache, and Pareto /
 //     BestPerSecurity / RankByEDP analyze the resulting point cloud —
 //     the paper's whole design-space study as one operation:
 //
@@ -67,11 +68,11 @@ const (
 )
 
 // Options exposes the simulation knobs (cache geometry, prefetcher,
-// Monte double-buffering, Billie digit size).
+// Monte double-buffering and datapath width, Billie digit size).
 type Options = sim.Options
 
 // DefaultOptions returns the paper's headline settings: 4 KB cache,
-// no prefetcher, double buffering on, digit size 3.
+// no prefetcher, double buffering on, digit size 3, 32-bit datapath.
 func DefaultOptions() Options { return sim.DefaultOptions() }
 
 // SimResult is the outcome of simulating a Sign+Verify on a
@@ -215,12 +216,16 @@ type (
 func DefaultSweepSpec() SweepSpec { return dse.DefaultSweep() }
 
 // FullSweepSpec is the complete design-space grid: 10 curves × 5
-// architectures with cache (1–16 KB, prefetcher on/off), Monte
-// double-buffering and Billie digit-size (1–8) sub-sweeps.
+// architectures with cache (1–16 KB, prefetcher on/off, ideal-cache
+// bound), Monte double-buffering and datapath-width (8–64 bit), Billie
+// digit-size (1–8), and accelerator idle-gating sub-sweeps.
 func FullSweepSpec() SweepSpec { return dse.FullSweep() }
 
 // Sweep explores the spec's cross-product on a parallel worker pool,
 // serving repeated configurations from the process-wide result cache.
+// Setting SweepOptions.CacheDir makes that cache persistent: results are
+// loaded from disk before the sweep and flushed back after, so repeating
+// a sweep is near-free even across process restarts.
 func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	return dse.Sweep(spec, opt)
 }
