@@ -7,11 +7,15 @@
 //	dse -all                     # every table and figure
 //	dse -exp fig7.1              # one experiment (see -list)
 //	dse -arch monte -curve P-256 # one configuration
+//	dse -arch monte -workload handshake  # price the WSN handshake scenario
 //	dse -list                    # experiment identifiers
 //	dse -sweep                   # full design-space sweep
 //	dse -sweep -workers 8 -json  # machine-readable, 8-way parallel
 //	dse -sweep -pareto           # energy-vs-latency frontier only
 //	dse -sweep -cache-dir .dse   # persist results; re-sweeps are near-free
+//	dse -sweep -progress         # live per-point counter on stderr
+//	dse -sweep -workload ecdh,handshake  # sweep exactly these scenarios
+//	                                     # (replaces the default sign-verify axis)
 package main
 
 import (
@@ -25,24 +29,35 @@ import (
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "regenerate every table and figure")
-		exp   = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
-		list  = flag.Bool("list", false, "list experiment identifiers")
-		arch  = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
-		curve = flag.String("curve", "P-256", "curve for -arch runs")
-		cache = flag.Int("cache", 4096, "I-cache bytes for cached configurations")
-		pf    = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
-		nodb  = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
-		digit = flag.Int("digit", 3, "Billie multiplier digit size")
-		width = flag.Int("width", 32, "Monte FFAU datapath width in bits (8/16/32/64)")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		exp      = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
+		list     = flag.Bool("list", false, "list experiment identifiers")
+		arch     = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
+		curve    = flag.String("curve", "P-256", "curve for -arch runs")
+		cache    = flag.Int("cache", 4096, "I-cache bytes for cached configurations")
+		pf       = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
+		nodb     = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
+		digit    = flag.Int("digit", 3, "Billie multiplier digit size")
+		width    = flag.Int("width", 32, "Monte FFAU datapath width in bits (8/16/32/64)")
+		workload = flag.String("workload", "", "priced scenario(s): "+strings.Join(repro.WorkloadNames(), ", ")+
+			" (default sign-verify; with -sweep a comma-separated list sets the workload axis"+
+			" to exactly those scenarios, replacing the default — include sign-verify to keep it)")
 
 		sweep    = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/width/digit sub-sweeps)")
 		pareto   = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
 		workers  = flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
 		cacheDir = flag.String("cache-dir", "", "with -sweep: persist the result cache in this directory so repeated sweeps are served from disk")
+		progress = flag.Bool("progress", false, "with -sweep: render a live per-point progress counter to stderr")
 	)
 	flag.Parse()
+
+	// The experiment renderers price fixed scenarios; a -workload that
+	// would be silently ignored is an error, not default output.
+	if *workload != "" && (*all || *exp != "" || *list) {
+		fmt.Fprintln(os.Stderr, "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments")
+		os.Exit(1)
+	}
 
 	switch {
 	case *list:
@@ -50,7 +65,7 @@ func main() {
 			fmt.Println(n)
 		}
 	case *sweep:
-		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir); err != nil {
+		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, *workload, *progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -75,6 +90,7 @@ func main() {
 		opt.DoubleBuffer = !*nodb
 		opt.BillieDigit = *digit
 		opt.MonteWidth = *width
+		opt.Workload = *workload
 		r, err := repro.Simulate(a, *curve, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -89,8 +105,32 @@ func main() {
 
 // runSweep explores the full design space and prints either the whole
 // point cloud or just its Pareto frontier, as text or JSON.
-func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir string) error {
-	res, err := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{Workers: workers, CacheDir: cacheDir})
+func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads string, progress bool) error {
+	spec := repro.FullSweepSpec()
+	if workloads != "" {
+		for _, wl := range strings.Split(workloads, ",") {
+			wl = strings.TrimSpace(wl)
+			if wl == "" {
+				return fmt.Errorf("empty workload name in -workload %q (want a comma-separated subset of %v)",
+					workloads, repro.WorkloadNames())
+			}
+			spec.Workloads = append(spec.Workloads, wl)
+		}
+	}
+	opt := repro.SweepOptions{Workers: workers, CacheDir: cacheDir}
+	if progress {
+		cached := 0
+		opt.Progress = func(done, total int, fromCache bool) {
+			if fromCache {
+				cached++
+			}
+			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d configurations (%d cached)", done, total, cached)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	res, err := repro.Sweep(spec, opt)
 	if err != nil {
 		return err
 	}
@@ -164,10 +204,11 @@ func parseArch(s string) (repro.Architecture, bool) {
 
 func printResult(r repro.SimResult) {
 	fmt.Printf("configuration : %s on %s\n", r.Arch, r.Curve)
-	fmt.Printf("sign          : %d cycles (%.2f ms)\n", r.SignCycles,
-		r.SignSeconds()*1e3)
-	fmt.Printf("verify        : %d cycles (%.2f ms)\n", r.VerifyCycles,
-		r.VerifySeconds()*1e3)
+	fmt.Printf("workload      : %s\n", r.Workload)
+	for _, ph := range r.Phases {
+		fmt.Printf("%-14s: %d cycles (%.2f ms, %.2f uJ)\n", ph.Name, ph.Cycles,
+			ph.Seconds()*1e3, ph.Energy.Total()*1e6)
+	}
 	bd := r.CombinedBreakdown()
 	fmt.Printf("energy (uJ)   : total=%.2f pete=%.2f rom=%.2f ram=%.2f uncore=%.2f accel=%.2f\n",
 		bd.Total()*1e6, bd.Pete*1e6, bd.ROM*1e6, bd.RAM*1e6, bd.Uncore*1e6, bd.Accel*1e6)

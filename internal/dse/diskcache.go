@@ -28,11 +28,15 @@ import (
 // mismatch of either means the file is ignored wholesale and rewritten
 // on the next flush — never silently reinterpreted.
 const (
-	diskFormatName    = "dse-result-cache"
-	diskFormatVersion = 1
+	diskFormatName = "dse-result-cache"
+	// Version 2: sim.Result grew the workload axis (per-phase
+	// cycle/energy slices replacing the fixed Sign/Verify fields), so v1
+	// stores are rejected wholesale instead of silently decoded into
+	// empty phase lists.
+	diskFormatVersion = 2
 
 	// DiskCacheFile is the file name used inside a cache directory.
-	DiskCacheFile = "results.v1.jsonl"
+	DiskCacheFile = "results.v2.jsonl"
 )
 
 type diskHeader struct {
@@ -47,8 +51,10 @@ type diskHeader struct {
 // modelFingerprint hashes probe simulations spanning every model path a
 // sweep can persist (software core, ISA extensions, cache + prefetcher,
 // ideal cache, Monte at a non-default width with and without double
-// buffering and gating, Billie at a non-default digit with gating): any
-// model or calibration change that alters results anywhere changes the
+// buffering and gating, Billie at a non-default digit with gating, and
+// every non-default workload — keygen, ecdh, handshake — on both curve
+// families): any model or
+// calibration change that alters results anywhere changes the
 // fingerprint and invalidates on-disk caches. Computed once per process.
 var modelFingerprint = sync.OnceValue(func() string {
 	probes := []struct {
@@ -63,9 +69,17 @@ var modelFingerprint = sync.OnceValue(func() string {
 		{sim.WithMonte, "P-192", func(o *sim.Options) { o.MonteWidth = 8 }},
 		{sim.WithMonte, "P-256", func(o *sim.Options) { o.DoubleBuffer = false; o.GateAccelIdle = true }},
 		{sim.WithBillie, "B-163", func(o *sim.Options) { o.BillieDigit = 1; o.GateAccelIdle = true }},
+		{sim.WithMonte, "P-192", func(o *sim.Options) { o.Workload = sim.WorkloadHandshake }},
+		{sim.WithBillie, "B-163", func(o *sim.Options) { o.Workload = sim.WorkloadECDH }},
+		{sim.ISAExt, "P-256", func(o *sim.Options) { o.Workload = sim.WorkloadKeyGen }},
+		{sim.Baseline, "B-233", func(o *sim.Options) { o.Workload = sim.WorkloadKeyGen }},
+		{sim.ISAExt, "P-384", func(o *sim.Options) { o.Workload = sim.WorkloadECDH }},
+		{sim.WithBillie, "B-283", func(o *sim.Options) { o.Workload = sim.WorkloadHandshake }},
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "keyfmt:%s;", Config{Arch: sim.WithMonte, Curve: "P-192"}.Key())
+	fmt.Fprintf(h, "keyfmt-wl:%s;", Config{Arch: sim.WithMonte, Curve: "P-192",
+		Opt: sim.Options{Workload: sim.WorkloadHandshake}}.Key())
 	for _, p := range probes {
 		o := sim.DefaultOptions()
 		p.opt(&o)
@@ -74,8 +88,11 @@ var modelFingerprint = sync.OnceValue(func() string {
 			fmt.Fprintf(h, "err:%v;", err)
 			continue
 		}
-		fmt.Fprintf(h, "%s|%s:%d,%d,%.17g,%.17g;", p.arch, p.curve,
-			r.SignCycles, r.VerifyCycles, r.TotalEnergy(), r.Power.StaticW)
+		fmt.Fprintf(h, "%s|%s|%s:", p.arch, p.curve, r.Workload)
+		for _, ph := range r.Phases {
+			fmt.Fprintf(h, "%s=%d,", ph.Name, ph.Cycles)
+		}
+		fmt.Fprintf(h, "%.17g,%.17g;", r.TotalEnergy(), r.Power.StaticW)
 	}
 	return hex.EncodeToString(h.Sum(nil))[:16]
 })

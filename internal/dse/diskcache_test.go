@@ -178,7 +178,7 @@ func TestDiskCachePersistsAcrossReruns(t *testing.T) {
 		}
 		for i := range res.Points {
 			if res.Points[i].EnergyJ != fresh.Points[i].EnergyJ ||
-				res.Points[i].Result.SignCycles != fresh.Points[i].Result.SignCycles {
+				res.Points[i].Result.SignCycles() != fresh.Points[i].Result.SignCycles() {
 				t.Errorf("stale store result at point %d: %+v vs fresh %+v",
 					i, res.Points[i], fresh.Points[i])
 			}
@@ -310,7 +310,7 @@ func TestSweepMonteWidthAxis(t *testing.T) {
 		t.Errorf("w=32 hash %s != default-width hash %s", w32.Config.Hash(), d.Config.Hash())
 	}
 	if w32.EnergyJ != d.EnergyJ || w32.TimeS != d.TimeS ||
-		w32.Result.SignCycles != d.Result.SignCycles {
+		w32.Result.SignCycles() != d.Result.SignCycles() {
 		t.Errorf("w=32 point diverges from the default-width point: %+v vs %+v", w32, d)
 	}
 }

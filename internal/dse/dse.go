@@ -46,10 +46,15 @@ type Config struct {
 // and hash equal: cache geometry only matters on cached architectures
 // (and the prefetcher only on a non-ideal cache), double buffering and
 // the datapath width only on Monte, and the digit size only on Billie.
+// The default workload canonicalizes to the empty string, so configs
+// predating the workload axis keep their keys and hashes.
 func (c Config) Canonical() Config {
 	out := c
 	if out.Opt.CacheBytes == 0 {
 		out.Opt.CacheBytes = 4096
+	}
+	if out.Opt.Workload == sim.WorkloadSignVerify {
+		out.Opt.Workload = ""
 	}
 	if out.Opt.BillieDigit == 0 {
 		out.Opt.BillieDigit = 3
@@ -81,12 +86,18 @@ func (c Config) Canonical() Config {
 
 // Key renders the canonical configuration as a stable, human-readable
 // string. Two configs with equal keys produce identical simulation
-// results.
+// results. The workload token is appended only for non-default
+// workloads, so default Sign+Verify keys (and their hashes) are
+// byte-identical to those computed before the workload axis existed.
 func (c Config) Key() string {
 	cc := c.Canonical()
-	return fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t w=%d digit=%d gate=%t",
+	key := fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t w=%d digit=%d gate=%t",
 		cc.Arch, cc.Curve, cc.Opt.CacheBytes, cc.Opt.Prefetch, cc.Opt.IdealCache,
 		cc.Opt.DoubleBuffer, cc.Opt.MonteWidth, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
+	if cc.Opt.Workload != "" {
+		key += " wl=" + cc.Opt.Workload
+	}
+	return key
 }
 
 // Hash returns the canonical config hash (hex SHA-256 of Key) used as the
@@ -124,6 +135,9 @@ func (c Config) OptionsLabel() string {
 	}
 	if cc.Opt.GateAccelIdle {
 		parts = append(parts, "gated")
+	}
+	if cc.Opt.Workload != "" {
+		parts = append(parts, "wl="+cc.Opt.Workload)
 	}
 	return strings.Join(parts, " ")
 }

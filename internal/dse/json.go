@@ -9,25 +9,40 @@ import (
 // PointJSON is the machine-readable rendering of a design point, stable
 // for downstream tooling.
 type PointJSON struct {
-	Arch          string  `json:"arch"`
-	Curve         string  `json:"curve"`
-	CacheBytes    int     `json:"cacheBytes,omitempty"`
-	Prefetch      bool    `json:"prefetch,omitempty"`
-	IdealCache    bool    `json:"idealCache,omitempty"`
-	DoubleBuffer  bool    `json:"doubleBuffer,omitempty"`
-	MonteWidth    int     `json:"monteWidth,omitempty"`
-	BillieDigit   int     `json:"billieDigit,omitempty"`
-	GateAccelIdle bool    `json:"gateAccelIdle,omitempty"`
-	Hash          string  `json:"hash"`
-	SecLevel      int     `json:"securityLevel,omitempty"`
-	SecurityBits  int     `json:"securityBits,omitempty"`
-	SignCycles    uint64  `json:"signCycles"`
-	VerifyCycles  uint64  `json:"verifyCycles"`
-	TotalCycles   uint64  `json:"totalCycles"`
-	EnergyJ       float64 `json:"energyJ"`
-	TimeS         float64 `json:"timeS"`
-	EDP           float64 `json:"edp"`
-	PowerW        float64 `json:"powerW"`
+	Arch          string `json:"arch"`
+	Curve         string `json:"curve"`
+	CacheBytes    int    `json:"cacheBytes,omitempty"`
+	Prefetch      bool   `json:"prefetch,omitempty"`
+	IdealCache    bool   `json:"idealCache,omitempty"`
+	DoubleBuffer  bool   `json:"doubleBuffer,omitempty"`
+	MonteWidth    int    `json:"monteWidth,omitempty"`
+	BillieDigit   int    `json:"billieDigit,omitempty"`
+	GateAccelIdle bool   `json:"gateAccelIdle,omitempty"`
+	// Workload is omitted for the default Sign+Verify scenario, keeping
+	// pre-workload-axis output byte-identical.
+	Workload     string `json:"workload,omitempty"`
+	Hash         string `json:"hash"`
+	SecLevel     int    `json:"securityLevel,omitempty"`
+	SecurityBits int    `json:"securityBits,omitempty"`
+	// Sign/verify cycles are omitted for workloads without those phases
+	// (e.g. keygen) so consumers fall through to the phases array
+	// instead of reading a misleading 0. Default Sign+Verify points
+	// always carry both, keeping the legacy wire form unchanged.
+	SignCycles   uint64      `json:"signCycles,omitempty"`
+	VerifyCycles uint64      `json:"verifyCycles,omitempty"`
+	TotalCycles  uint64      `json:"totalCycles"`
+	EnergyJ      float64     `json:"energyJ"`
+	TimeS        float64     `json:"timeS"`
+	EDP          float64     `json:"edp"`
+	PowerW       float64     `json:"powerW"`
+	Phases       []PhaseJSON `json:"phases,omitempty"`
+}
+
+// PhaseJSON is the wire form of one priced workload phase.
+type PhaseJSON struct {
+	Name    string  `json:"name"`
+	Cycles  uint64  `json:"cycles"`
+	EnergyJ float64 `json:"energyJ"`
 }
 
 // SweepJSON is the machine-readable rendering of a full sweep.
@@ -54,9 +69,12 @@ type LevelFrontierJSON struct {
 	Points       []PointJSON `json:"points"`
 }
 
-// ToJSON converts a point to its wire form.
+// ToJSON converts a point to its wire form. Phases are included only for
+// non-default workloads: the default Sign+Verify phase split is already
+// carried by signCycles/verifyCycles, and omitting it keeps the wire
+// form of pre-workload-axis sweeps unchanged.
 func (p Point) ToJSON() PointJSON {
-	return PointJSON{
+	out := PointJSON{
 		Arch:          p.Config.Arch.String(),
 		Curve:         p.Config.Curve,
 		CacheBytes:    p.Config.Opt.CacheBytes,
@@ -66,17 +84,26 @@ func (p Point) ToJSON() PointJSON {
 		MonteWidth:    p.Config.Opt.MonteWidth,
 		BillieDigit:   p.Config.Opt.BillieDigit,
 		GateAccelIdle: p.Config.Opt.GateAccelIdle,
+		Workload:      p.Config.Canonical().Opt.Workload,
 		Hash:          p.Config.Hash(),
 		SecLevel:      p.SecLevel,
 		SecurityBits:  p.SecurityBits,
-		SignCycles:    p.Result.SignCycles,
-		VerifyCycles:  p.Result.VerifyCycles,
+		SignCycles:    p.Result.SignCycles(),
+		VerifyCycles:  p.Result.VerifyCycles(),
 		TotalCycles:   p.Result.TotalCycles(),
 		EnergyJ:       p.EnergyJ,
 		TimeS:         p.TimeS,
 		EDP:           p.EDP,
 		PowerW:        p.Result.Power.Total(),
 	}
+	if out.Workload != "" {
+		for _, ph := range p.Result.Phases {
+			out.Phases = append(out.Phases, PhaseJSON{
+				Name: ph.Name, Cycles: ph.Cycles, EnergyJ: ph.Energy.Total(),
+			})
+		}
+	}
+	return out
 }
 
 // MarshalJSON renders the sweep result, including its Pareto frontier, as

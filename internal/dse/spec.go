@@ -31,6 +31,11 @@ type SweepSpec struct {
 	// GateAccelIdle sweeps the Chapter 8 idle-gating knob; nil means
 	// {false}.
 	GateAccelIdle []bool
+
+	// Workloads sweeps the priced scenario (sim.Workloads() names); nil
+	// means the default Sign+Verify workload only, which keeps every
+	// canonical hash identical to a spec without the axis.
+	Workloads []string
 }
 
 // DefaultSweep is the paper's headline grid: every architecture × every
@@ -103,6 +108,9 @@ func (s SweepSpec) normalized() SweepSpec {
 	if len(s.GateAccelIdle) == 0 {
 		s.GateAccelIdle = []bool{false}
 	}
+	if len(s.Workloads) == 0 {
+		s.Workloads = []string{""}
+	}
 	return s
 }
 
@@ -133,6 +141,11 @@ func (s SweepSpec) Validate() error {
 				w, energy.MonteWidths)
 		}
 	}
+	for _, wl := range n.Workloads {
+		if !sim.KnownWorkload(wl) {
+			return fmt.Errorf("dse: unknown workload %q (want one of %v)", wl, sim.Workloads())
+		}
+	}
 	return nil
 }
 
@@ -149,7 +162,7 @@ func (s SweepSpec) RawPoints() int {
 }
 
 // optionAxes returns the sweepable option dimensions of a normalized
-// spec in specification order (cache-major, gating-minor): each axis is
+// spec in specification order (cache-major, workload-minor): each axis is
 // its cardinality plus a setter applying the i-th value. Adding a sweep
 // axis means adding one entry here (plus its SweepSpec field, default
 // and validation) — Expand and RawPoints pick it up unchanged.
@@ -168,13 +181,14 @@ func (n SweepSpec) optionAxes() []struct {
 		{len(n.MonteWidths), func(o *sim.Options, i int) { o.MonteWidth = n.MonteWidths[i] }},
 		{len(n.BillieDigits), func(o *sim.Options, i int) { o.BillieDigit = n.BillieDigits[i] }},
 		{len(n.GateAccelIdle), func(o *sim.Options, i int) { o.GateAccelIdle = n.GateAccelIdle[i] }},
+		{len(n.Workloads), func(o *sim.Options, i int) { o.Workload = n.Workloads[i] }},
 	}
 }
 
 // Expand enumerates the cross-product in deterministic specification
 // order (arch-major, then curve, then the option axes with the last —
-// gating — varying fastest), pruning invalid architecture/curve pairs
-// and deduplicating canonically identical configurations.
+// the workload — varying fastest), pruning invalid architecture/curve
+// pairs and deduplicating canonically identical configurations.
 func (s SweepSpec) Expand() []Config {
 	n := s.normalized()
 	axes := n.optionAxes()

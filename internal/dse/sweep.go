@@ -20,6 +20,13 @@ type SweepOptions struct {
 	// afterwards, so repeating a sweep is near-free even across process
 	// restarts.
 	CacheDir string
+	// Progress, when non-nil, streams per-point completion for long
+	// sweeps: it is invoked once per configuration, in deterministic
+	// specification order regardless of the worker count, with the
+	// number of points completed so far, the total, and whether that
+	// point was served from cache. Calls are serialized; the callback
+	// runs on worker goroutines and should be fast.
+	Progress func(done, total int, cached bool)
 }
 
 // SweepResult is the outcome of exploring one SweepSpec.
@@ -75,6 +82,29 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	points := make([]Point, len(cfgs))
 	errs := make([]error, len(cfgs))
 	var hits, misses atomic.Uint64
+
+	// Progress bookkeeping: completions arrive in worker order, but the
+	// callback fires in specification order — each finished point is
+	// parked until every earlier point has finished too, so the (done,
+	// total, cached) stream is deterministic for any worker count.
+	var progressMu sync.Mutex
+	finished := make([]bool, len(cfgs))
+	wasHit := make([]bool, len(cfgs))
+	nextToReport := 0
+	reportProgress := func(i int, hit bool) {
+		if opt.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		finished[i] = true
+		wasHit[i] = hit
+		for nextToReport < len(cfgs) && finished[nextToReport] {
+			opt.Progress(nextToReport+1, len(cfgs), wasHit[nextToReport])
+			nextToReport++
+		}
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -91,9 +121,11 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 				}
 				if err != nil {
 					errs[i] = fmt.Errorf("dse: %s: %w", cfg.Key(), err)
+					reportProgress(i, hit)
 					continue
 				}
 				points[i] = newPoint(cfg, res)
+				reportProgress(i, hit)
 			}
 		}()
 	}

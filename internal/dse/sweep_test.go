@@ -99,7 +99,7 @@ func TestSweepResultsMatchDirectRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := res.Points[0]
-	if p.Result.SignCycles != direct.SignCycles || p.EnergyJ != direct.TotalEnergy() {
+	if p.Result.SignCycles() != direct.SignCycles() || p.EnergyJ != direct.TotalEnergy() {
 		t.Errorf("sweep point diverges from direct sim.Run: %v vs %v", p.Result, direct)
 	}
 	if p.TimeS != direct.TimeSeconds() {

@@ -48,19 +48,39 @@ func ECDHBinary(priv *BinaryPrivateKey, peer *ec.BinaryAffinePoint) ([]byte, err
 	return key[:], nil
 }
 
-// ECDHProfile is the operation census of one ECDH key agreement (one
-// scalar multiplication), for the simulation layer.
-func ECDHProfile(priv *PrivateKey, peer *ec.AffinePoint) (OpProfile, error) {
+// ECDHProfile runs ECDH while recording the operation census of one key
+// agreement (one scalar multiplication plus the peer-key curve check),
+// returning the derived session key so callers can cross-check agreement
+// with the peer's side.
+func ECDHProfile(priv *PrivateKey, peer *ec.AffinePoint) ([]byte, OpProfile, error) {
 	curve := priv.Curve
 	curve.F.Counters.Reset()
 	curve.Ops.Reset()
-	if _, err := ECDH(priv, peer); err != nil {
-		return OpProfile{}, err
+	key, err := ECDH(priv, peer)
+	if err != nil {
+		return nil, OpProfile{}, err
 	}
-	return OpProfile{
+	return key, OpProfile{
 		Field:     curve.F.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.Bits,
+		OrderBits: curve.NBits,
+	}, nil
+}
+
+// ECDHProfileBinary is the binary-curve variant of ECDHProfile.
+func ECDHProfileBinary(priv *BinaryPrivateKey, peer *ec.BinaryAffinePoint) ([]byte, BinaryOpProfile, error) {
+	curve := priv.Curve
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	key, err := ECDHBinary(priv, peer)
+	if err != nil {
+		return nil, BinaryOpProfile{}, err
+	}
+	return key, BinaryOpProfile{
+		Field:     binaryFieldCensus(curve),
+		Point:     curve.Ops,
+		FieldBits: curve.F.M,
 		OrderBits: curve.NBits,
 	}, nil
 }

@@ -70,9 +70,12 @@ func TestECDHProfileCountsOps(t *testing.T) {
 	curve := ec.NISTPrimeCurve("P-224", mp.PSNIST)
 	alice := GenerateKey(curve, []byte("a"))
 	bob := GenerateKey(curve, []byte("b"))
-	prof, err := ECDHProfile(alice, bob.Q)
+	key, prof, err := ECDHProfile(alice, bob.Q)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if peerKey, err := ECDH(bob, alice.Q); err != nil || !bytes.Equal(key, peerKey) {
+		t.Errorf("profiled ECDH key disagrees with the peer's side (err=%v)", err)
 	}
 	if prof.Field.Mul == 0 || prof.Point.Dbl == 0 {
 		t.Errorf("profile did not capture the scalar multiplication: %+v", prof)

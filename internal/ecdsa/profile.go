@@ -22,6 +22,22 @@ type OpProfile struct {
 	OrderBits int
 }
 
+// ProfileKeyGen runs GenerateKey while recording the operation census —
+// one scalar base multiplication plus the deterministic seed hashing
+// (which contributes no field operations).
+func ProfileKeyGen(curve *ec.PrimeCurve, seed []byte) (*PrivateKey, OpProfile) {
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	priv := GenerateKey(curve, seed)
+	p := OpProfile{
+		Field:     curve.F.Counters,
+		Point:     curve.Ops,
+		FieldBits: curve.F.Bits,
+		OrderBits: curve.NBits,
+	}
+	return priv, p
+}
+
 // ProfileSign runs Sign while recording the operation census.
 func ProfileSign(priv *PrivateKey, digest []byte) (*Signature, OpProfile, error) {
 	curve := priv.Curve
@@ -71,6 +87,30 @@ type gf2OpCounters struct {
 	Mul, Sqr, Add, Inv uint64
 }
 
+// binaryFieldCensus snapshots a binary curve's field counters — the one
+// place the gf2 counter set is flattened, so a new counted operation
+// cannot be picked up by some profilers and dropped by others.
+func binaryFieldCensus(curve *ec.BinaryCurve) gf2OpCounters {
+	return gf2OpCounters{
+		Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
+		Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
+	}
+}
+
+// ProfileKeyGenBinary runs GenerateBinaryKey while recording the census.
+func ProfileKeyGenBinary(curve *ec.BinaryCurve, seed []byte) (*BinaryPrivateKey, BinaryOpProfile) {
+	curve.F.Counters.Reset()
+	curve.Ops.Reset()
+	priv := GenerateBinaryKey(curve, seed)
+	p := BinaryOpProfile{
+		Field:     binaryFieldCensus(curve),
+		Point:     curve.Ops,
+		FieldBits: curve.F.M,
+		OrderBits: curve.NBits,
+	}
+	return priv, p
+}
+
 // ProfileSignBinary runs SignBinary while recording the census.
 func ProfileSignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, BinaryOpProfile, error) {
 	curve := priv.Curve
@@ -79,10 +119,7 @@ func ProfileSignBinary(priv *BinaryPrivateKey, digest []byte) (*Signature, Binar
 	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
 	sig, err := signBinaryWith(of, priv, digest)
 	p := BinaryOpProfile{
-		Field: gf2OpCounters{
-			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
-			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
-		},
+		Field:     binaryFieldCensus(curve),
 		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.M,
@@ -98,10 +135,7 @@ func ProfileVerifyBinary(curve *ec.BinaryCurve, pub *ec.BinaryAffinePoint, diges
 	of := newOrderField(curve.Name, binaryOrder(curve), curve.NBits)
 	ok := verifyBinaryWith(of, curve, pub, digest, sig)
 	p := BinaryOpProfile{
-		Field: gf2OpCounters{
-			Mul: curve.F.Counters.Mul, Sqr: curve.F.Counters.Sqr,
-			Add: curve.F.Counters.Add, Inv: curve.F.Counters.Inv,
-		},
+		Field:     binaryFieldCensus(curve),
 		Order:     of.Counters,
 		Point:     curve.Ops,
 		FieldBits: curve.F.M,

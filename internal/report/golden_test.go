@@ -32,6 +32,7 @@ func goldenExperiments() map[string]func() string {
 	return map[string]func() string{
 		"bestdesign": BestDesign,
 		"ffauwidth":  FFAUWidthStudy,
+		"handshake":  HandshakeStudy,
 	}
 }
 

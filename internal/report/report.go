@@ -344,7 +344,7 @@ func Table7_1() string {
 		for _, c := range ec.PrimeCurveNames {
 			r := sim.MustRun(a, c, opt)
 			fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", a, c,
-				k100(r.SignCycles), k100(r.VerifyCycles), k100(r.TotalCycles()))
+				k100(r.SignCycles()), k100(r.VerifyCycles()), k100(r.TotalCycles()))
 		}
 	}
 	return b.String()
@@ -360,7 +360,7 @@ func Table7_2() string {
 		for _, c := range ec.BinaryCurveNames {
 			r := sim.MustRun(a, c, opt)
 			fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", a, c,
-				k100(r.SignCycles), k100(r.VerifyCycles), k100(r.TotalCycles()))
+				k100(r.SignCycles()), k100(r.VerifyCycles()), k100(r.TotalCycles()))
 		}
 	}
 	return b.String()
@@ -460,7 +460,7 @@ func All() string {
 		Fig7_1(), Fig7_2(), Fig7_3(), Fig7_4(), Fig7_5(), Fig7_6(),
 		Fig7_7(), Fig7_8(), Fig7_9(), Fig7_10(), Fig7_11(), Fig7_12(),
 		Fig7_13(), Fig7_14(), Fig7_15(), DoubleBufferStudy(), GatingStudy(),
-		FFAUWidthStudy(), BestDesign(),
+		FFAUWidthStudy(), BestDesign(), HandshakeStudy(),
 	}
 	return strings.Join(parts, "\n")
 }
@@ -479,6 +479,7 @@ func ByName(name string) (string, bool) {
 		"gating":       GatingStudy,
 		"ffauwidth":    FFAUWidthStudy,
 		"bestdesign":   BestDesign,
+		"handshake":    HandshakeStudy,
 	}
 	f, ok := m[strings.ToLower(name)]
 	if !ok {
@@ -494,6 +495,6 @@ func Names() []string {
 		"fig7.1", "fig7.2", "fig7.3", "fig7.4", "fig7.5", "fig7.6",
 		"fig7.7", "fig7.8", "fig7.9", "fig7.10", "fig7.11", "fig7.12",
 		"fig7.13", "fig7.14", "fig7.15", "doublebuffer", "gating",
-		"ffauwidth", "bestdesign",
+		"ffauwidth", "bestdesign", "handshake",
 	}
 }

@@ -81,6 +81,12 @@ type Options struct {
 	// paper's stated future work ("we plan on modeling our system such
 	// that we can turn off Billie when she is not in use", Chapter 8).
 	GateAccelIdle bool
+	// Workload selects the priced scenario: WorkloadSignVerify (the
+	// paper's Sign+Verify evaluation, the default when empty),
+	// WorkloadKeyGen, WorkloadECDH, or WorkloadHandshake (see
+	// workload.go). Every workload runs its cryptography functionally
+	// before pricing.
+	Workload string
 }
 
 // DefaultOptions matches the headline evaluation settings.

@@ -6,30 +6,47 @@ import (
 	"strings"
 
 	"repro/internal/ec"
-	"repro/internal/ecdsa"
 	"repro/internal/energy"
 	"repro/internal/gf2"
 	"repro/internal/mp"
 )
 
-// Result is the outcome of running the ECDSA workload on one
-// configuration: latency and a per-component energy breakdown for a
-// signature, a verification, and the combined "handshake" the paper
-// reports (Sign + Verify).
+// ramBytes is the modeled data-SRAM capacity (Chapter 6 system
+// configuration). It feeds both the per-access/leakage energy accounting
+// and the power-split leakage term, so it lives in one place.
+const ramBytes = 16 * 1024
+
+// PhaseResult is the priced outcome of one workload phase: its latency
+// and per-component energy breakdown.
+type PhaseResult struct {
+	Name   string
+	Cycles uint64
+	Energy energy.Breakdown
+}
+
+// Seconds returns the phase's wall-clock time at the system clock.
+func (p PhaseResult) Seconds() float64 {
+	return float64(p.Cycles) / energy.SystemClockHz
+}
+
+// Result is the outcome of running a workload on one configuration:
+// per-phase latency and energy breakdowns plus combined event totals and
+// the average power split. The default workload is the paper's scenario —
+// one ECDSA signature plus one verification — whose phases remain
+// addressable through the Sign*/Verify* accessors.
 type Result struct {
-	Arch  Arch
-	Curve string
-	Opt   Options
+	Arch     Arch
+	Curve    string
+	Opt      Options
+	Workload string
 
-	SignCycles   uint64
-	VerifyCycles uint64
+	// Phases holds one priced entry per workload phase, in workload
+	// order.
+	Phases []PhaseResult
 
-	SignEnergy   energy.Breakdown
-	VerifyEnergy energy.Breakdown
+	Power energy.PowerSplit // average over the whole workload
 
-	Power energy.PowerSplit // average over the combined operation
-
-	// Event totals for the combined operation.
+	// Event totals for the whole workload.
 	InstFetches    uint64
 	RAMReads       uint64
 	RAMWrites      uint64
@@ -37,33 +54,85 @@ type Result struct {
 	CacheMissStall uint64
 }
 
-// TotalCycles returns Sign + Verify cycles.
-func (r Result) TotalCycles() uint64 { return r.SignCycles + r.VerifyCycles }
+// Phase returns the named phase and whether the workload contains it.
+func (r Result) Phase(name string) (PhaseResult, bool) {
+	for _, p := range r.Phases {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return PhaseResult{}, false
+}
 
-// TotalEnergy returns the combined Sign + Verify energy in Joules.
+// phaseCycles returns the named phase's cycles, or 0 if absent.
+func (r Result) phaseCycles(name string) uint64 {
+	p, _ := r.Phase(name)
+	return p.Cycles
+}
+
+// SignCycles returns the signature phase's cycles (0 if the workload has
+// no sign phase).
+func (r Result) SignCycles() uint64 { return r.phaseCycles(PhaseSign) }
+
+// VerifyCycles returns the verification phase's cycles (0 if absent).
+func (r Result) VerifyCycles() uint64 { return r.phaseCycles(PhaseVerify) }
+
+// SignEnergy returns the signature phase's energy breakdown (zero if the
+// workload has no sign phase).
+func (r Result) SignEnergy() energy.Breakdown {
+	p, _ := r.Phase(PhaseSign)
+	return p.Energy
+}
+
+// VerifyEnergy returns the verification phase's energy breakdown.
+func (r Result) VerifyEnergy() energy.Breakdown {
+	p, _ := r.Phase(PhaseVerify)
+	return p.Energy
+}
+
+// TotalCycles returns the whole workload's cycles.
+func (r Result) TotalCycles() uint64 {
+	var total uint64
+	for _, p := range r.Phases {
+		total += p.Cycles
+	}
+	return total
+}
+
+// TotalEnergy returns the whole workload's energy in Joules.
 func (r Result) TotalEnergy() float64 {
-	return r.SignEnergy.Total() + r.VerifyEnergy.Total()
+	var total float64
+	for _, p := range r.Phases {
+		total += p.Energy.Total()
+	}
+	return total
 }
 
-// CombinedBreakdown returns the Sign+Verify component breakdown.
+// CombinedBreakdown returns the component breakdown summed over every
+// phase.
 func (r Result) CombinedBreakdown() energy.Breakdown {
-	return r.SignEnergy.Add(r.VerifyEnergy)
+	var bd energy.Breakdown
+	for _, p := range r.Phases {
+		bd = bd.Add(p.Energy)
+	}
+	return bd
 }
 
-// TimeSeconds returns the combined wall-clock time at the system clock.
+// TimeSeconds returns the whole workload's wall-clock time at the system
+// clock.
 func (r Result) TimeSeconds() float64 {
 	return float64(r.TotalCycles()) / energy.SystemClockHz
 }
 
 // SignSeconds returns the signature wall-clock time at the system clock.
 func (r Result) SignSeconds() float64 {
-	return float64(r.SignCycles) / energy.SystemClockHz
+	return float64(r.SignCycles()) / energy.SystemClockHz
 }
 
 // VerifySeconds returns the verification wall-clock time at the system
 // clock.
 func (r Result) VerifySeconds() float64 {
-	return float64(r.VerifyCycles) / energy.SystemClockHz
+	return float64(r.VerifyCycles()) / energy.SystemClockHz
 }
 
 // IsPrimeCurve reports whether name is a NIST prime curve.
@@ -114,11 +183,12 @@ func (t *tally) pricePointOps(p ec.PointOpCounters, accel bool) {
 	t.addOverhead((p.Dbl + p.Add) * ov)
 }
 
-// Run executes the ECDSA workload (one signature and one verification of a
-// SHA-256 digest) on the given configuration and curve, returning latency
-// and energy. The cryptography is executed functionally — the signature
-// really verifies — while costs come from the measured kernels and
-// accelerator models.
+// Run executes the workload selected by opt.Workload (default: one ECDSA
+// signature plus one verification of a SHA-256 digest) on the given
+// configuration and curve, returning per-phase latency and energy. The
+// cryptography is executed functionally — the signature really verifies,
+// the ECDH sides really agree — while costs come from the measured
+// kernels and accelerator models.
 func Run(arch Arch, curveName string, opt Options) (Result, error) {
 	if !ec.KnownCurve(curveName) {
 		return Result{}, fmt.Errorf("sim: unknown curve %q", curveName)
@@ -131,6 +201,12 @@ func Run(arch Arch, curveName string, opt Options) (Result, error) {
 	}
 	if opt.MonteWidth == 0 {
 		opt.MonteWidth = DefaultMonteWidth
+	}
+	opt.Workload = CanonicalWorkload(opt.Workload)
+	wl, ok := workloadByName(opt.Workload)
+	if !ok {
+		return Result{}, fmt.Errorf("sim: unknown workload %q (want one of: %s)",
+			opt.Workload, workloadNamesForError())
 	}
 	if opt.CacheBytes < MinCacheBytes || opt.CacheBytes > MaxCacheBytes {
 		return Result{}, fmt.Errorf("sim: cache size %d out of modeled range [%d, %d]",
@@ -145,9 +221,9 @@ func Run(arch Arch, curveName string, opt Options) (Result, error) {
 			opt.MonteWidth, energy.MonteWidths)
 	}
 	if IsPrimeCurve(curveName) {
-		return runPrime(arch, curveName, opt)
+		return runPrime(arch, curveName, opt, wl)
 	}
-	return runBinary(arch, curveName, opt)
+	return runBinary(arch, curveName, opt, wl)
 }
 
 // MustRun is Run that panics on error (harness use).
@@ -164,7 +240,7 @@ func digest() []byte {
 	return d[:]
 }
 
-func runPrime(arch Arch, curveName string, opt Options) (Result, error) {
+func runPrime(arch Arch, curveName string, opt Options, wl workloadDef) (Result, error) {
 	if arch == WithBillie {
 		return Result{}, fmt.Errorf("sim: Billie is a binary-field accelerator; cannot run %s", curveName)
 	}
@@ -178,14 +254,9 @@ func runPrime(arch Arch, curveName string, opt Options) (Result, error) {
 		alg = mp.CIOS
 	}
 	curve := ec.NISTPrimeCurve(curveName, alg)
-	priv := ecdsa.GenerateKey(curve, []byte("sim-key-"+curveName))
-	sig, signProf, err := ecdsa.ProfileSign(priv, digest())
+	phases, err := profilePrimeWorkload(curve, wl)
 	if err != nil {
 		return Result{}, err
-	}
-	ok, verProf := ecdsa.ProfileVerify(curve, priv.Q, digest(), sig)
-	if !ok {
-		return Result{}, fmt.Errorf("sim: functional verification failed on %s", curveName)
 	}
 
 	k := curve.F.K
@@ -193,12 +264,11 @@ func runPrime(arch Arch, curveName string, opt Options) (Result, error) {
 	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
 
 	accel := arch.HasMonte()
-	signT := priceProfile(signProf, fieldCosts, orderCosts, accel)
-	verT := priceProfile(verProf, fieldCosts, orderCosts, accel)
-	return assemble(arch, curveName, opt, signT, verT, curve.F.Bits)
+	tallies := priceWorkload(phases, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, wl, phases, tallies, curve.F.Bits)
 }
 
-func runBinary(arch Arch, curveName string, opt Options) (Result, error) {
+func runBinary(arch Arch, curveName string, opt Options, wl workloadDef) (Result, error) {
 	if arch.HasMonte() {
 		return Result{}, fmt.Errorf("sim: Monte is a prime-field accelerator; cannot run %s", curveName)
 	}
@@ -209,14 +279,9 @@ func runBinary(arch Arch, curveName string, opt Options) (Result, error) {
 		alg = gf2.CLMul
 	}
 	curve := ec.NISTBinaryCurve(curveName, alg)
-	priv := ecdsa.GenerateBinaryKey(curve, []byte("sim-key-"+curveName))
-	sig, signProf, err := ecdsa.ProfileSignBinary(priv, digest())
+	phases, err := profileBinaryWorkload(curve, wl)
 	if err != nil {
 		return Result{}, err
-	}
-	ok, verProf := ecdsa.ProfileVerifyBinary(curve, priv.Q, digest(), sig)
-	if !ok {
-		return Result{}, fmt.Errorf("sim: functional verification failed on %s", curveName)
 	}
 
 	k := curve.F.K
@@ -225,9 +290,8 @@ func runBinary(arch Arch, curveName string, opt Options) (Result, error) {
 	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
 
 	accel := arch == WithBillie
-	signT := priceBinaryProfile(signProf, fieldCosts, orderCosts, accel)
-	verT := priceBinaryProfile(verProf, fieldCosts, orderCosts, accel)
-	return assemble(arch, curveName, opt, signT, verT, m)
+	tallies := priceWorkload(phases, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, wl, phases, tallies, m)
 }
 
 // orderCostsFor prices group-order (protocol) arithmetic, which always
@@ -255,30 +319,35 @@ func orderCostsFor(arch Arch, curveName string, nbits int, opt Options) FieldCos
 	}
 }
 
-func priceProfile(p ecdsa.OpProfile, fc, oc FieldCosts, accel bool) tally {
+// priceCensus converts one phase's operation census into cycles/events —
+// the single pricing path every workload phase of either curve family
+// goes through. Every phase carries the fixed protocol overhead
+// (hashing, nonce/seed derivation, glue), small next to its scalar
+// multiplication.
+func priceCensus(c opCensus, fc, oc FieldCosts, accel bool) tally {
 	var t tally
-	priceFieldOps(&t, fc, p.Field.Mul, p.Field.Sqr, p.Field.Add, p.Field.Sub, p.Field.Inv)
-	priceFieldOps(&t, oc, p.Order.Mul, p.Order.Sqr, p.Order.Add, p.Order.Sub, p.Order.Inv)
-	t.pricePointOps(p.Point, accel)
+	priceFieldOps(&t, fc, c.mul, c.sqr, c.add, c.sub, c.inv)
+	priceFieldOps(&t, oc, c.order.Mul, c.order.Sqr, c.order.Add, c.order.Sub, c.order.Inv)
+	t.pricePointOps(c.point, accel)
 	t.addOverhead(ecdsaFixedOverheadCycles)
 	return t
 }
 
-func priceBinaryProfile(p ecdsa.BinaryOpProfile, fc, oc FieldCosts, accel bool) tally {
-	var t tally
-	mul, sqr, add, inv := p.Field.Counts()
-	priceFieldOps(&t, fc, mul, sqr, add, 0, inv)
-	priceFieldOps(&t, oc, p.Order.Mul, p.Order.Sqr, p.Order.Add, p.Order.Sub, p.Order.Inv)
-	t.pricePointOps(p.Point, accel)
-	t.addOverhead(ecdsaFixedOverheadCycles)
-	return t
+// priceWorkload prices every profiled phase.
+func priceWorkload(phases []profiledPhase, fc, oc FieldCosts, accel bool) []tally {
+	out := make([]tally, len(phases))
+	for i, p := range phases {
+		out[i] = priceCensus(p.census, fc, oc, accel)
+	}
+	return out
 }
 
-// assemble applies the cache model and converts tallies into energy.
-// fieldBits is the curve field size: Billie's register file scales with
-// it and Monte's width-aware power model interpolates Table 7.3 by it.
-func assemble(arch Arch, curveName string, opt Options, signT, verT tally, fieldBits int) (Result, error) {
-	res := Result{Arch: arch, Curve: curveName, Opt: opt}
+// assemble applies the cache model and converts the per-phase tallies
+// into energy. fieldBits is the curve field size: Billie's register file
+// scales with it and Monte's width-aware power model interpolates
+// Table 7.3 by it.
+func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases []profiledPhase, tallies []tally, fieldBits int) (Result, error) {
+	res := Result{Arch: arch, Curve: curveName, Opt: opt, Workload: wl.name}
 
 	apply := func(t tally) (uint64, energy.Breakdown, uint64, uint64) {
 		cycles := t.cycles
@@ -324,7 +393,6 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, field
 		}
 
 		// RAM.
-		const ramBytes = 16 * 1024
 		bd.RAM = float64(t.ramReads)*energy.SRAMReadEnergy(ramBytes) +
 			float64(t.ramWrites)*energy.SRAMWriteEnergy(ramBytes) +
 			energy.SRAMLeakage(ramBytes)*T
@@ -355,18 +423,20 @@ func assemble(arch Arch, curveName string, opt Options, signT, verT tally, field
 		return cycles, bd, missStall, lineReads
 	}
 
-	var sMiss, vMiss uint64
-	res.SignCycles, res.SignEnergy, sMiss, _ = apply(signT)
-	res.VerifyCycles, res.VerifyEnergy, vMiss, _ = apply(verT)
-	res.CacheMissStall = sMiss + vMiss
-	res.InstFetches = signT.insts + verT.insts
-	res.RAMReads = signT.ramReads + verT.ramReads
-	res.RAMWrites = signT.ramWrites + verT.ramWrites
-	res.AccelBusy = signT.accel + verT.accel
+	res.Phases = make([]PhaseResult, len(tallies))
+	for i, t := range tallies {
+		cycles, bd, miss, _ := apply(t)
+		res.Phases[i] = PhaseResult{Name: phases[i].name, Cycles: cycles, Energy: bd}
+		res.CacheMissStall += miss
+		res.InstFetches += t.insts
+		res.RAMReads += t.ramReads
+		res.RAMWrites += t.ramWrites
+		res.AccelBusy += t.accel
+	}
 
 	// Average power split (Figure 7.10).
 	T := res.TimeSeconds()
-	static := energy.PeteStaticW + energy.UncoreStatic + energy.SRAMLeakage(16*1024)
+	static := energy.PeteStaticW + energy.UncoreStatic + energy.SRAMLeakage(ramBytes)
 	if arch.HasCache() {
 		static += energy.ICacheLeakage(opt.CacheBytes)
 	}

@@ -280,9 +280,9 @@ func TestSignCheaperThanVerify(t *testing.T) {
 	opt := DefaultOptions()
 	for _, curve := range []string{"P-192", "P-384", "B-163"} {
 		r := run(t, Baseline, curve, opt)
-		if r.SignCycles >= r.VerifyCycles {
+		if r.SignCycles() >= r.VerifyCycles() {
 			t.Errorf("%s: sign (%d) not cheaper than verify (%d)",
-				curve, r.SignCycles, r.VerifyCycles)
+				curve, r.SignCycles(), r.VerifyCycles())
 		}
 	}
 }
@@ -362,7 +362,7 @@ func TestWrongArchRejected(t *testing.T) {
 
 func TestResultAccessors(t *testing.T) {
 	r := run(t, Baseline, "P-192", DefaultOptions())
-	if r.TotalCycles() != r.SignCycles+r.VerifyCycles {
+	if r.TotalCycles() != r.SignCycles()+r.VerifyCycles() {
 		t.Error("TotalCycles mismatch")
 	}
 	if r.TimeSeconds() <= 0 {

@@ -63,6 +63,18 @@ func TestRunValidation(t *testing.T) {
 			opt: mut(func(o *Options) { o.MonteWidth = -32 }), wantSub: "datapath width -32",
 		},
 		{
+			name: "unknown workload", arch: Baseline, curve: "P-192",
+			opt: mut(func(o *Options) { o.Workload = "tls13" }), wantSub: `unknown workload "tls13"`,
+		},
+		{
+			name: "misspelled workload", arch: WithMonte, curve: "P-256",
+			opt: mut(func(o *Options) { o.Workload = "signverify" }), wantSub: `unknown workload "signverify"`,
+		},
+		{
+			name: "workload name is case-sensitive", arch: Baseline, curve: "B-163",
+			opt: mut(func(o *Options) { o.Workload = "Handshake" }), wantSub: `unknown workload "Handshake"`,
+		},
+		{
 			name: "Billie on a prime curve", arch: WithBillie, curve: "P-256",
 			opt: DefaultOptions(), wantSub: "Billie is a binary-field accelerator",
 		},
@@ -102,7 +114,7 @@ func TestRunZeroOptionsDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if zero.SignCycles != def.SignCycles || zero.TotalEnergy() != def.TotalEnergy() {
+	if zero.SignCycles() != def.SignCycles() || zero.TotalEnergy() != def.TotalEnergy() {
 		t.Error("zero-value options must behave exactly like DefaultOptions")
 	}
 	if zero.Opt.CacheBytes != 4096 || zero.Opt.BillieDigit != 3 || zero.Opt.MonteWidth != DefaultMonteWidth {

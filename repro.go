@@ -6,33 +6,43 @@
 // instruction cache), and an energy model that regenerates every table
 // and figure of the paper's evaluation chapter.
 //
-// Four layers are exposed:
+// Five layers are exposed:
 //
 //   - Cryptography: Curve / Key / Sign / Verify run real ECDSA on real
 //     NIST curve parameters. Signing is deterministic (RFC-6979-style),
 //     so results are reproducible across architectures.
 //
-//   - Simulation: Simulate prices a Sign+Verify workload on one of the
-//     paper's hardware/software configurations, returning latency,
-//     per-component energy, and average power.
+//   - Workloads: a workload is a named list of profiled phases, each a
+//     real, functionally-verified crypto operation. Four ship out of the
+//     box: WorkloadSignVerify (the paper's Sign+Verify scenario, the
+//     default), WorkloadKeyGen, WorkloadECDH, and WorkloadHandshake (the
+//     WSN mutual-authentication sequence key-gen + ECDH + sign + verify).
+//     Options.Workload selects one; results carry per-phase cycle and
+//     energy slices.
+//
+//   - Simulation: Simulate prices the selected workload on one of the
+//     paper's hardware/software configurations, returning per-phase
+//     latency, per-component energy, and average power.
 //
 //   - Exploration: Sweep fans a declarative SweepSpec (architectures ×
-//     curves × cache geometries × accelerator knobs, including Monte's
-//     datapath width and Billie's digit size) out over a parallel worker
-//     pool with a memoizing, optionally disk-backed result cache, and Pareto /
-//     BestPerSecurity / RankByEDP analyze the resulting point cloud —
-//     the paper's whole design-space study as one operation:
+//     curves × workloads × cache geometries × accelerator knobs,
+//     including Monte's datapath width and Billie's digit size) out over
+//     a parallel worker pool with a memoizing, optionally disk-backed
+//     result cache, and Pareto / BestPerSecurity / RankByEDP analyze the
+//     resulting point cloud — the paper's whole design-space study as
+//     one operation:
 //
 //     res, _ := repro.Sweep(repro.FullSweepSpec(), repro.SweepOptions{})
 //     frontier := repro.Pareto(res.Points)
 //
 //     Sweep results are deterministic: the same spec produces points in
-//     the same order regardless of worker count, and repeated or
-//     overlapping sweeps are served from the result cache.
+//     the same order regardless of worker count, repeated or overlapping
+//     sweeps are served from the result cache, and SweepOptions.Progress
+//     streams per-point completion in specification order.
 //
 //   - Experiments: Experiment and Experiments regenerate the paper's
 //     tables and figures as formatted text, including the live-sweep
-//     "bestdesign" comparison.
+//     "bestdesign", "ffauwidth" and "handshake" comparisons.
 package repro
 
 import (
@@ -68,8 +78,29 @@ const (
 )
 
 // Options exposes the simulation knobs (cache geometry, prefetcher,
-// Monte double-buffering and datapath width, Billie digit size).
+// Monte double-buffering and datapath width, Billie digit size, and the
+// priced workload).
 type Options = sim.Options
+
+// The shipped workloads (Options.Workload / SweepSpec.Workloads values).
+const (
+	// WorkloadSignVerify is the paper's evaluation scenario: one ECDSA
+	// signature plus one verification (the default).
+	WorkloadSignVerify = sim.WorkloadSignVerify
+	// WorkloadKeyGen is one deterministic key generation.
+	WorkloadKeyGen = sim.WorkloadKeyGen
+	// WorkloadECDH is one Diffie-Hellman key agreement.
+	WorkloadECDH = sim.WorkloadECDH
+	// WorkloadHandshake is the full WSN mutual-authentication handshake:
+	// key-gen + ECDH + sign + verify.
+	WorkloadHandshake = sim.WorkloadHandshake
+)
+
+// WorkloadNames lists the shipped workloads, default first.
+func WorkloadNames() []string { return sim.Workloads() }
+
+// PhaseResult is one priced workload phase (name, cycles, energy).
+type PhaseResult = sim.PhaseResult
 
 // DefaultOptions returns the paper's headline settings: 4 KB cache,
 // no prefetcher, double buffering on, digit size 3, 32-bit datapath.

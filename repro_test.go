@@ -102,6 +102,47 @@ func TestExperimentAPI(t *testing.T) {
 	}
 }
 
+func TestWorkloadAPI(t *testing.T) {
+	names := WorkloadNames()
+	if len(names) != 4 || names[0] != WorkloadSignVerify {
+		t.Fatalf("WorkloadNames() = %v", names)
+	}
+	opt := DefaultOptions()
+	opt.Workload = WorkloadHandshake
+	r, err := Simulate(ArchMonte, "P-256", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Workload != WorkloadHandshake || len(r.Phases) != 4 {
+		t.Errorf("handshake result malformed: workload=%q phases=%d", r.Workload, len(r.Phases))
+	}
+	sv, err := Simulate(ArchMonte, "P-256", DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.TotalEnergy() <= sv.TotalEnergy() {
+		t.Error("handshake should cost more than Sign+Verify")
+	}
+	opt.Workload = "nope"
+	if _, err := Simulate(ArchBaseline, "P-192", opt); err == nil {
+		t.Error("unknown workload should error")
+	}
+
+	// The workload axis is sweepable through the public surface too.
+	spec := SweepSpec{
+		Archs:     []Architecture{ArchBaseline},
+		Curves:    []string{"P-192"},
+		Workloads: []string{WorkloadKeyGen, WorkloadECDH},
+	}
+	res, err := Sweep(spec, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Errorf("workload sweep produced %d points, want 2", len(res.Points))
+	}
+}
+
 func TestAccelerationOrdering(t *testing.T) {
 	// The public API must reproduce the paper's headline ordering:
 	// baseline > isa-ext > isa-ext+cache > monte in energy.
