@@ -16,12 +16,25 @@
 //	dse -sweep -progress         # live per-point counter on stderr
 //	dse -sweep -workload ecdh,handshake  # sweep exactly these scenarios
 //	                                     # (replaces the default sign-verify axis)
+//	dse -sweep -curves P-192,B-163       # restrict the curve axis
+//
+// A sweep can be split across processes or hosts: every runner gets the
+// same spec and cache directory, each evaluates one shard of the grid
+// (partitioned deterministically by canonical config hash) into its own
+// store, and a final merge produces the canonical single store —
+// byte-identical to what one unsharded sweep would have written:
+//
+//	dse -sweep -shard 0/2 -cache-dir .dse   # runner 1
+//	dse -sweep -shard 1/2 -cache-dir .dse   # runner 2 (any machine, same dir)
+//	dse -merge-cache -cache-dir .dse        # combine the shard stores
+//	dse -sweep -cache-dir .dse              # re-sweep: 100% cache hits
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro"
@@ -49,13 +62,36 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
 		cacheDir = flag.String("cache-dir", "", "with -sweep: persist the result cache in this directory so repeated sweeps are served from disk")
 		progress = flag.Bool("progress", false, "with -sweep: render a live per-point progress counter to stderr")
+		curves   = flag.String("curves", "", "with -sweep: comma-separated curve subset replacing the full 10-curve axis")
+		shard    = flag.String("shard", "", "with -sweep: run one shard of the grid, as i/n (e.g. 0/2); results flush to a per-shard store in -cache-dir, combined later by -merge-cache")
+
+		mergeCache = flag.Bool("merge-cache", false, "merge the per-shard result stores in -cache-dir into the canonical single store")
 	)
 	flag.Parse()
 
-	// The experiment renderers price fixed scenarios; a -workload that
-	// would be silently ignored is an error, not default output.
-	if *workload != "" && (*all || *exp != "" || *list) {
-		fmt.Fprintln(os.Stderr, "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments")
+	// Exactly one mode may be selected; a second mode flag would be
+	// silently dropped on the floor otherwise (e.g. -sweep -arch monte
+	// used to run the sweep and ignore the -arch run entirely).
+	modes := 0
+	for _, on := range []bool{*list, *sweep, *all, *exp != "", *arch != "", *mergeCache} {
+		if on {
+			modes++
+		}
+	}
+	if modes > 1 {
+		fmt.Fprintln(os.Stderr, "conflicting modes: pick exactly one of -list, -sweep, -all, -exp, -arch, -merge-cache")
+		os.Exit(1)
+	}
+
+	// The experiment renderers price fixed scenarios and the merge is
+	// workload-agnostic; a -workload that would be silently ignored is
+	// an error, not default output.
+	if *workload != "" && (*all || *exp != "" || *list || *mergeCache) {
+		fmt.Fprintln(os.Stderr, "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments and -merge-cache merges every stored result")
+		os.Exit(1)
+	}
+	if (*shard != "" || *curves != "") && !*sweep {
+		fmt.Fprintln(os.Stderr, "-shard and -curves apply to -sweep only")
 		os.Exit(1)
 	}
 
@@ -65,10 +101,22 @@ func main() {
 			fmt.Println(n)
 		}
 	case *sweep:
-		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, *workload, *progress); err != nil {
+		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, *workload, *curves, *shard, *progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	case *mergeCache:
+		if *cacheDir == "" {
+			fmt.Fprintln(os.Stderr, "-merge-cache needs -cache-dir (the directory holding the shard stores)")
+			os.Exit(1)
+		}
+		files, entries, err := repro.MergeSweepStores(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("merged %d store(s) into %s: %d results\n",
+			files, repro.SweepStorePath(*cacheDir), entries)
 	case *all:
 		fmt.Print(repro.Experiments())
 	case *exp != "":
@@ -103,9 +151,10 @@ func main() {
 	}
 }
 
-// runSweep explores the full design space and prints either the whole
-// point cloud or just its Pareto frontier, as text or JSON.
-func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads string, progress bool) error {
+// runSweep explores the full design space (or one shard of it) and
+// prints either the whole point cloud or just its Pareto frontier, as
+// text or JSON.
+func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads, curves, shard string, progress bool) error {
 	spec := repro.FullSweepSpec()
 	if workloads != "" {
 		for _, wl := range strings.Split(workloads, ",") {
@@ -117,7 +166,28 @@ func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads string,
 			spec.Workloads = append(spec.Workloads, wl)
 		}
 	}
+	if curves != "" {
+		spec.Curves = nil
+		for _, c := range strings.Split(curves, ",") {
+			c = strings.TrimSpace(c)
+			if c == "" {
+				return fmt.Errorf("empty curve name in -curves %q (want a comma-separated subset of %v)",
+					curves, repro.CurveNames())
+			}
+			spec.Curves = append(spec.Curves, c)
+		}
+	}
 	opt := repro.SweepOptions{Workers: workers, CacheDir: cacheDir}
+	if shard != "" {
+		idx, count, err := parseShard(shard)
+		if err != nil {
+			return err
+		}
+		if cacheDir == "" {
+			return fmt.Errorf("-shard %s without -cache-dir would discard the shard's results (no store to flush to)", shard)
+		}
+		opt.ShardIndex, opt.ShardCount = idx, count
+	}
 	if progress {
 		cached := 0
 		opt.Progress = func(done, total int, fromCache bool) {
@@ -135,8 +205,17 @@ func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads string,
 		return err
 	}
 	if cacheDir != "" && !jsonOut {
-		fmt.Printf("persistent cache: %d results loaded from %s, %d flushed back\n",
-			res.DiskLoaded, cacheDir, res.DiskSaved)
+		if res.DiskUnchanged {
+			fmt.Printf("persistent cache: %d results loaded from %s, store already up to date (nothing flushed)\n",
+				res.DiskLoaded, cacheDir)
+		} else {
+			fmt.Printf("persistent cache: %d results loaded from %s, %d flushed back\n",
+				res.DiskLoaded, cacheDir, res.DiskSaved)
+		}
+	}
+	if res.ShardCount > 1 && !jsonOut {
+		fmt.Printf("shard %d/%d: %d of the grid's configurations belong to this runner\n",
+			res.ShardIndex, res.ShardCount, res.Configs)
 	}
 	switch {
 	case jsonOut && paretoOnly:
@@ -184,6 +263,21 @@ func printPoints(points []repro.SweepPoint) {
 			p.Config.Arch, p.Config.Curve, label,
 			p.EnergyJ*1e6, p.TimeS*1e3, p.EDP*1e12)
 	}
+}
+
+// parseShard parses an "i/n" shard selector (shard i of n, 0-based).
+func parseShard(s string) (index, count int, err error) {
+	idx, cnt, ok := strings.Cut(s, "/")
+	if ok {
+		index, err = strconv.Atoi(strings.TrimSpace(idx))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(cnt))
+		}
+	}
+	if !ok || err != nil || count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n (e.g. 0/2)", s)
+	}
+	return index, count, nil
 }
 
 func parseArch(s string) (repro.Architecture, bool) {

@@ -1,0 +1,157 @@
+// Sharded-sweep: split one design-space sweep across two real OS
+// processes and merge their stores back into one.
+//
+// The parent process runs the reference sweep unsharded, then re-executes
+// itself twice — once per shard. Each child is a genuinely separate
+// process with its own empty in-memory cache: it evaluates only the
+// configurations whose canonical hash maps to its shard and flushes them
+// to its own store file inside the shared cache directory. The parent
+// merges the shard stores and checks the result is byte-identical to the
+// unsharded store, then rebuilds the full SweepResult from the merged
+// store without re-simulating anything — the workflow that scales one
+// sweep across as many runners (or hosts sharing a directory) as you
+// have.
+//
+// The CLI equivalent:
+//
+//	dse -sweep -shard 0/2 -cache-dir shards
+//	dse -sweep -shard 1/2 -cache-dir shards
+//	dse -merge-cache -cache-dir shards
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"strconv"
+
+	"repro"
+)
+
+// shardEnv tells a re-executed child which shard it is ("0" or "1");
+// shardDirEnv carries the shared cache directory.
+const (
+	shardEnv    = "SHARDED_SWEEP_SHARD"
+	shardDirEnv = "SHARDED_SWEEP_DIR"
+	shardCount  = 2
+)
+
+// spec is a small slice of the paper's grid — two security levels across
+// the acceleration spectrum — so the demo runs in seconds.
+func spec() repro.SweepSpec {
+	return repro.SweepSpec{
+		Archs: []repro.Architecture{
+			repro.ArchBaseline, repro.ArchISAExtCache, repro.ArchMonte, repro.ArchBillie,
+		},
+		Curves:     []string{"P-192", "P-256", "B-163", "B-233"},
+		CacheBytes: []int{2 << 10, 4 << 10},
+	}
+}
+
+func main() {
+	if idx := os.Getenv(shardEnv); idx != "" {
+		runShard(idx)
+		return
+	}
+
+	// 1. The reference: the same spec swept unsharded in this process.
+	singleDir, err := os.MkdirTemp("", "sharded-sweep-single-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(singleDir)
+	res, err := repro.Sweep(spec(), repro.SweepOptions{CacheDir: singleDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("unsharded reference: %d configurations -> %s\n",
+		res.Configs, repro.SweepStorePath(singleDir))
+
+	// 2. The same grid split across two child processes. Both children
+	// run concurrently; the hash partition guarantees they never overlap,
+	// so they need no coordination beyond the shared directory.
+	shardDir, err := os.MkdirTemp("", "sharded-sweep-shards-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(shardDir)
+	self, err := os.Executable()
+	if err != nil {
+		log.Fatal(err)
+	}
+	children := make([]*exec.Cmd, shardCount)
+	for i := range children {
+		cmd := exec.Command(self)
+		cmd.Env = append(os.Environ(),
+			shardEnv+"="+strconv.Itoa(i), shardDirEnv+"="+shardDir)
+		cmd.Stdout, cmd.Stderr = os.Stdout, os.Stderr
+		if err := cmd.Start(); err != nil {
+			log.Fatal(err)
+		}
+		children[i] = cmd
+	}
+	for i, cmd := range children {
+		if err := cmd.Wait(); err != nil {
+			log.Fatalf("shard %d process: %v", i, err)
+		}
+	}
+
+	// 3. Merge the per-shard stores into the canonical single store.
+	files, entries, err := repro.MergeSweepStores(shardDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d shard stores: %d results -> %s\n",
+		files, entries, repro.SweepStorePath(shardDir))
+
+	// 4. The merged store is byte-identical to the unsharded one:
+	// entries are keyed by canonical config hash and written in hash
+	// order, so equal content means equal bytes.
+	a, err := os.ReadFile(repro.SweepStorePath(singleDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	b, err := os.ReadFile(repro.SweepStorePath(shardDir))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		log.Fatal("merged store differs from the unsharded store")
+	}
+	fmt.Println("merged store is byte-identical to the unsharded store")
+
+	// 5. Rebuild the full SweepResult from the merged store — zero
+	// re-simulation — and ask it a question only the whole grid can
+	// answer.
+	asm, err := repro.AssembleSweepFromStore(spec(), shardDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier := repro.Pareto(asm.Points)
+	fmt.Printf("assembled %d points from the merged store (0 simulated); Pareto frontier:\n", asm.Configs)
+	for _, p := range frontier {
+		fmt.Printf("  %-14s %-6s  %8.2f uJ  %8.3f ms\n",
+			p.Config.Arch, p.Config.Curve, p.EnergyJ*1e6, p.TimeS*1e3)
+	}
+}
+
+// runShard is the child-process role: evaluate one shard of the grid and
+// flush it to the shard's own store.
+func runShard(idx string) {
+	i, err := strconv.Atoi(idx)
+	if err != nil {
+		log.Fatalf("bad %s=%q: %v", shardEnv, idx, err)
+	}
+	res, err := repro.Sweep(spec(), repro.SweepOptions{
+		CacheDir:   os.Getenv(shardDirEnv),
+		ShardIndex: i,
+		ShardCount: shardCount,
+	})
+	if err != nil {
+		log.Fatalf("shard %d: %v", i, err)
+	}
+	fmt.Printf("shard %d/%d (pid %d): evaluated %d of the grid's configurations\n",
+		res.ShardIndex, res.ShardCount, os.Getpid(), res.Configs)
+}

@@ -51,11 +51,16 @@ func TestDiskCacheRoundTrip(t *testing.T) {
 		t.Errorf("restart sweep: hits=%d misses=%d, want %d/0",
 			res2.CacheHits, res2.CacheMisses, res2.Configs)
 	}
+	if !res2.DiskUnchanged || res2.DiskSaved != 0 {
+		t.Errorf("restart sweep rewrote a complete store: saved=%d unchanged=%t, want 0/true",
+			res2.DiskSaved, res2.DiskUnchanged)
+	}
 
 	// Results served from disk must be identical to freshly simulated
 	// ones (normalize the legitimately differing cache counters).
 	res1.CacheHits, res1.CacheMisses, res1.DiskLoaded, res1.DiskSaved = 0, 0, 0, 0
 	res2.CacheHits, res2.CacheMisses, res2.DiskLoaded, res2.DiskSaved = 0, 0, 0, 0
+	res1.DiskUnchanged, res2.DiskUnchanged = false, false
 	j1, _ := res1.MarshalJSON()
 	j2, _ := res2.MarshalJSON()
 	if !bytes.Equal(j1, j2) {
@@ -172,6 +177,12 @@ func TestDiskCachePersistsAcrossReruns(t *testing.T) {
 			t.Errorf("rerun against existing store: hits=%d misses=%d, want %d/0",
 				res.CacheHits, res.CacheMisses, res.Configs)
 		}
+		// Nothing new was simulated, so nothing was written — the
+		// accounting must say so instead of reporting a phantom flush.
+		if !res.DiskUnchanged || res.DiskSaved != 0 {
+			t.Errorf("rerun against complete store: saved=%d unchanged=%t, want 0/true",
+				res.DiskSaved, res.DiskUnchanged)
+		}
 		fresh, err := Sweep(diskSpec(), SweepOptions{Cache: NewCache()})
 		if err != nil {
 			t.Fatal(err)
@@ -183,8 +194,7 @@ func TestDiskCachePersistsAcrossReruns(t *testing.T) {
 					i, res.Points[i], fresh.Points[i])
 			}
 		}
-	}
-	if res.DiskSaved != res.Configs {
+	} else if res.DiskSaved != res.Configs {
 		t.Errorf("flushed %d entries, want %d", res.DiskSaved, res.Configs)
 	}
 }

@@ -21,6 +21,12 @@
 // Sweep output ordering is deterministic: results are reported in
 // specification order regardless of the worker count, so two sweeps of the
 // same spec are byte-identical even when sharded differently.
+//
+// A sweep can also be split across processes or hosts: the canonical
+// config hash is a stable partition key (ShardOf), SweepOptions.ShardIndex
+// /ShardCount restrict a run to one shard flushing its own store, and
+// MergeStores + AssembleFromStore combine the shard stores and rebuild
+// the full result with zero re-simulation.
 package dse
 
 import (

@@ -45,18 +45,23 @@ type PhaseJSON struct {
 	EnergyJ float64 `json:"energyJ"`
 }
 
-// SweepJSON is the machine-readable rendering of a full sweep.
+// SweepJSON is the machine-readable rendering of a full sweep. The
+// shard and disk fields are omitted when zero/false, keeping unsharded
+// in-memory sweep output byte-identical to the pre-shard wire form.
 type SweepJSON struct {
-	ClockHz     float64     `json:"clockHz"`
-	RawPoints   int         `json:"rawPoints"`
-	Configs     int         `json:"configs"`
-	Workers     int         `json:"workers"`
-	CacheHits   uint64      `json:"cacheHits"`
-	CacheMisses uint64      `json:"cacheMisses"`
-	DiskLoaded  int         `json:"diskLoaded,omitempty"`
-	DiskSaved   int         `json:"diskSaved,omitempty"`
-	Points      []PointJSON `json:"points"`
-	Pareto      []PointJSON `json:"pareto"`
+	ClockHz       float64     `json:"clockHz"`
+	RawPoints     int         `json:"rawPoints"`
+	Configs       int         `json:"configs"`
+	Workers       int         `json:"workers"`
+	ShardIndex    int         `json:"shardIndex,omitempty"`
+	ShardCount    int         `json:"shardCount,omitempty"`
+	CacheHits     uint64      `json:"cacheHits"`
+	CacheMisses   uint64      `json:"cacheMisses"`
+	DiskLoaded    int         `json:"diskLoaded,omitempty"`
+	DiskSaved     int         `json:"diskSaved,omitempty"`
+	DiskUnchanged bool        `json:"diskUnchanged,omitempty"`
+	Points        []PointJSON `json:"points"`
+	Pareto        []PointJSON `json:"pareto"`
 	// ParetoPerLevel holds the frontier within each security level —
 	// the comparison at fixed key strength.
 	ParetoPerLevel []LevelFrontierJSON `json:"paretoPerLevel"`
@@ -72,20 +77,24 @@ type LevelFrontierJSON struct {
 // ToJSON converts a point to its wire form. Phases are included only for
 // non-default workloads: the default Sign+Verify phase split is already
 // carried by signCycles/verifyCycles, and omitting it keeps the wire
-// form of pre-workload-axis sweeps unchanged.
+// form of pre-workload-axis sweeps unchanged. Every option field is
+// rendered from the canonical config, so a caller-built non-canonical
+// point (e.g. CacheBytes left 0 on a cached arch) emits the same option
+// values its own hash was computed under.
 func (p Point) ToJSON() PointJSON {
+	cc := p.Config.Canonical()
 	out := PointJSON{
-		Arch:          p.Config.Arch.String(),
-		Curve:         p.Config.Curve,
-		CacheBytes:    p.Config.Opt.CacheBytes,
-		Prefetch:      p.Config.Opt.Prefetch,
-		IdealCache:    p.Config.Opt.IdealCache,
-		DoubleBuffer:  p.Config.Opt.DoubleBuffer,
-		MonteWidth:    p.Config.Opt.MonteWidth,
-		BillieDigit:   p.Config.Opt.BillieDigit,
-		GateAccelIdle: p.Config.Opt.GateAccelIdle,
-		Workload:      p.Config.Canonical().Opt.Workload,
-		Hash:          p.Config.Hash(),
+		Arch:          cc.Arch.String(),
+		Curve:         cc.Curve,
+		CacheBytes:    cc.Opt.CacheBytes,
+		Prefetch:      cc.Opt.Prefetch,
+		IdealCache:    cc.Opt.IdealCache,
+		DoubleBuffer:  cc.Opt.DoubleBuffer,
+		MonteWidth:    cc.Opt.MonteWidth,
+		BillieDigit:   cc.Opt.BillieDigit,
+		GateAccelIdle: cc.Opt.GateAccelIdle,
+		Workload:      cc.Opt.Workload,
+		Hash:          cc.Hash(),
 		SecLevel:      p.SecLevel,
 		SecurityBits:  p.SecurityBits,
 		SignCycles:    p.Result.SignCycles(),
@@ -110,16 +119,19 @@ func (p Point) ToJSON() PointJSON {
 // indented JSON.
 func (r *SweepResult) MarshalJSON() ([]byte, error) {
 	out := SweepJSON{
-		ClockHz:     energy.SystemClockHz,
-		RawPoints:   r.RawPoints,
-		Configs:     r.Configs,
-		Workers:     r.Workers,
-		CacheHits:   r.CacheHits,
-		CacheMisses: r.CacheMisses,
-		DiskLoaded:  r.DiskLoaded,
-		DiskSaved:   r.DiskSaved,
-		Points:      make([]PointJSON, 0, len(r.Points)),
-		Pareto:      make([]PointJSON, 0),
+		ClockHz:       energy.SystemClockHz,
+		RawPoints:     r.RawPoints,
+		Configs:       r.Configs,
+		Workers:       r.Workers,
+		ShardIndex:    r.ShardIndex,
+		ShardCount:    r.ShardCount,
+		CacheHits:     r.CacheHits,
+		CacheMisses:   r.CacheMisses,
+		DiskLoaded:    r.DiskLoaded,
+		DiskSaved:     r.DiskSaved,
+		DiskUnchanged: r.DiskUnchanged,
+		Points:        make([]PointJSON, 0, len(r.Points)),
+		Pareto:        make([]PointJSON, 0),
 	}
 	for _, p := range r.Points {
 		out.Points = append(out.Points, p.ToJSON())

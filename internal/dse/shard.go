@@ -1,0 +1,138 @@
+package dse
+
+import (
+	"fmt"
+	"hash/fnv"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+)
+
+// Sharding splits one sweep across cooperating processes or hosts. The
+// canonical config hash is the partition key: ShardOf maps every hash to
+// exactly one of shardCount shards, so any runner set covering the
+// indices 0..shardCount-1 evaluates the grid exactly once, with no
+// coordination beyond agreeing on the spec and the shard count. Each
+// shard flushes its results to its own store (ShardStorePath); MergeStores
+// combines the shard stores into the canonical single store, which is
+// byte-identical to the one an unsharded sweep would have written —
+// SaveFile orders entries by hash, so equal content means equal bytes.
+
+// ShardOf maps a canonical config hash to its owning shard in [0,
+// shardCount). The hash is uniform (hex SHA-256), so its 60-bit prefix
+// modulo shardCount balances shards; the mapping depends only on the hash
+// and the count, never on the spec or the expansion order, so it is
+// stable across processes, hosts and releases.
+func ShardOf(hash string, shardCount int) int {
+	if shardCount <= 1 {
+		return 0
+	}
+	if len(hash) >= 15 {
+		if v, err := strconv.ParseUint(hash[:15], 16, 64); err == nil {
+			return int(v % uint64(shardCount))
+		}
+	}
+	// Not a hex config hash: still partition deterministically.
+	h := fnv.New64a()
+	io.WriteString(h, hash)
+	return int(h.Sum64() % uint64(shardCount))
+}
+
+// shardConfigs returns the subset of cfgs owned by shard index of count,
+// preserving specification order.
+func shardConfigs(cfgs []Config, index, count int) []Config {
+	out := make([]Config, 0, len(cfgs)/count+1)
+	for _, c := range cfgs {
+		if ShardOf(c.Hash(), count) == index {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ShardStorePath returns the store path shard index of count flushes
+// inside a cache directory.
+func ShardStorePath(dir string, index, count int) string {
+	return filepath.Join(dir, fmt.Sprintf("results.v%d.shard-%d-of-%d.jsonl", diskFormatVersion, index, count))
+}
+
+// isShardStoreName reports whether a file name is a shard store of the
+// current format version (any shard index and count).
+func isShardStoreName(name string) bool {
+	ok, _ := filepath.Match(fmt.Sprintf("results.v%d.shard-*-of-*.jsonl", diskFormatVersion), name)
+	return ok
+}
+
+// MergeStores combines the canonical store (if present) and every shard
+// store in dir into the canonical single store at DiskCachePath(dir),
+// returning how many store files contributed and how many results the
+// merged store holds. Entries are keyed by config hash and simulation is
+// deterministic, so two stores never disagree on a hash: the merge is a
+// set union — idempotent, order-independent, and byte-identical to the
+// store an unsharded sweep of the same results would write. Shard files
+// are left in place; a later re-merge absorbs them again harmlessly.
+// Stores are found by listing dir, not by globbing it, so a cache
+// directory whose path contains pattern metacharacters still merges.
+func MergeStores(dir string) (files, entries int, err error) {
+	c := NewCache()
+	if _, statErr := os.Stat(DiskCachePath(dir)); statErr == nil {
+		if _, err := c.LoadFile(DiskCachePath(dir)); err != nil {
+			return 0, 0, err
+		}
+		files++
+	}
+	dirents, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return files, 0, fmt.Errorf("dse: read store dir: %w", err)
+	}
+	for _, de := range dirents {
+		if de.IsDir() || !isShardStoreName(de.Name()) {
+			continue
+		}
+		if _, err := c.LoadFile(filepath.Join(dir, de.Name())); err != nil {
+			return files, 0, err
+		}
+		files++
+	}
+	if files == 0 {
+		return 0, 0, fmt.Errorf("dse: no result stores to merge in %s", dir)
+	}
+	entries, err = c.SaveFile(DiskCachePath(dir))
+	return files, entries, err
+}
+
+// AssembleFromStore rebuilds the full SweepResult for spec from the
+// canonical store in dir with zero re-simulation: every expanded
+// configuration must already be present — the state after sharded sweeps
+// over the same spec followed by MergeStores. A missing configuration is
+// an error naming it, not a silent re-simulation, so an incomplete shard
+// set is caught instead of absorbed.
+func AssembleFromStore(spec SweepSpec, dir string) (*SweepResult, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	cache := NewCache()
+	loaded, err := cache.LoadFile(DiskCachePath(dir))
+	if err != nil {
+		return nil, err
+	}
+	cfgs := spec.Expand()
+	points := make([]Point, len(cfgs))
+	for i, cfg := range cfgs {
+		res, ok := cache.lookup(cfg.Hash())
+		if !ok {
+			return nil, fmt.Errorf("dse: store %s is missing config %q (run its shard and merge first)",
+				DiskCachePath(dir), cfg.Key())
+		}
+		points[i] = newPoint(cfg, res)
+	}
+	return &SweepResult{
+		Spec:       spec,
+		Points:     points,
+		RawPoints:  spec.RawPoints(),
+		Configs:    len(cfgs),
+		CacheHits:  uint64(len(cfgs)),
+		DiskLoaded: loaded,
+	}, nil
+}

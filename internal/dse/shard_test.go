@@ -1,0 +1,438 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// shardSpec is a small grid big enough that every shard of the tested
+// counts is non-empty.
+func shardSpec() SweepSpec {
+	return SweepSpec{
+		Archs:       []sim.Arch{sim.Baseline, sim.ISAExtCache, sim.WithMonte, sim.WithBillie},
+		Curves:      []string{"P-192", "P-256", "B-163", "B-233"},
+		CacheBytes:  []int{1 << 10, 4 << 10},
+		MonteWidths: []int{16, 32},
+	}
+}
+
+func TestShardPartitionCoversGridExactlyOnce(t *testing.T) {
+	cfgs := shardSpec().Expand()
+	for _, count := range []int{2, 3, 5, 7} {
+		owner := make(map[string]int)
+		var union []Config
+		for idx := 0; idx < count; idx++ {
+			shard := shardConfigs(cfgs, idx, count)
+			for _, c := range shard {
+				h := c.Hash()
+				if prev, dup := owner[h]; dup {
+					t.Errorf("count=%d: config %q in shards %d and %d", count, c.Key(), prev, idx)
+				}
+				owner[h] = idx
+				if got := ShardOf(h, count); got != idx {
+					t.Errorf("count=%d: ShardOf(%s) = %d, but shardConfigs put it in %d", count, h, got, idx)
+				}
+			}
+			union = append(union, shard...)
+		}
+		if len(union) != len(cfgs) {
+			t.Errorf("count=%d: shards hold %d configs, grid has %d", count, len(union), len(cfgs))
+		}
+		// Each shard preserves specification order, so the concatenated
+		// union must be a permutation holding exactly the grid's keys.
+		for _, c := range cfgs {
+			if _, ok := owner[c.Hash()]; !ok {
+				t.Errorf("count=%d: config %q in no shard", count, c.Key())
+			}
+		}
+	}
+	// Unsharded degenerate cases: everything maps to shard 0.
+	for _, count := range []int{0, 1} {
+		if got := ShardOf(cfgs[0].Hash(), count); got != 0 {
+			t.Errorf("ShardOf(count=%d) = %d, want 0", count, got)
+		}
+	}
+}
+
+func TestShardPartitionIsHashDeterministic(t *testing.T) {
+	// The owner of a config depends only on its hash and the count —
+	// never on the spec it came from — so independently launched runners
+	// agree without coordination.
+	cfg := Config{Arch: sim.WithMonte, Curve: "P-256"}
+	want := ShardOf(cfg.Hash(), 4)
+	for i := 0; i < 100; i++ {
+		if ShardOf(cfg.Hash(), 4) != want {
+			t.Fatal("ShardOf not deterministic")
+		}
+	}
+	// Non-hex keys still partition (deterministically) instead of
+	// panicking.
+	if got := ShardOf("not-a-hash", 3); got < 0 || got > 2 {
+		t.Errorf("ShardOf on a non-hex key = %d, out of range", got)
+	}
+}
+
+func TestShardedSweepsMergeByteIdenticalToUnsharded(t *testing.T) {
+	spec := shardSpec()
+	single := t.TempDir()
+	if _, err := Sweep(spec, SweepOptions{Cache: NewCache(), CacheDir: single}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Each shard runs with its own fresh cache — the in-process stand-in
+	// for separate OS processes (CI runs the real two-process version).
+	const n = 2
+	sharded := t.TempDir()
+	total := 0
+	for i := 0; i < n; i++ {
+		res, err := Sweep(spec, SweepOptions{
+			Cache: NewCache(), CacheDir: sharded, ShardIndex: i, ShardCount: n,
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		if res.ShardIndex != i || res.ShardCount != n {
+			t.Errorf("shard %d result carries identity %d/%d", i, res.ShardIndex, res.ShardCount)
+		}
+		if res.DiskSaved != res.Configs {
+			t.Errorf("shard %d flushed %d entries, want %d", i, res.DiskSaved, res.Configs)
+		}
+		total += res.Configs
+		if _, err := os.Stat(ShardStorePath(sharded, i, n)); err != nil {
+			t.Errorf("shard %d store missing: %v", i, err)
+		}
+	}
+	if want := len(spec.Expand()); total != want {
+		t.Errorf("shards evaluated %d configs, grid has %d", total, want)
+	}
+
+	files, entries, err := MergeStores(sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != n {
+		t.Errorf("merge consumed %d stores, want %d", files, n)
+	}
+	if entries != total {
+		t.Errorf("merged store holds %d results, want %d", entries, total)
+	}
+
+	a, err := os.ReadFile(DiskCachePath(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(DiskCachePath(sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("merged shard stores differ from the unsharded store")
+	}
+
+	// A re-sweep over the merged store is 100% cache hits and leaves the
+	// store untouched.
+	res, err := Sweep(spec, SweepOptions{Cache: NewCache(), CacheDir: sharded})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheMisses != 0 || res.CacheHits != uint64(res.Configs) {
+		t.Errorf("re-sweep over merged store: hits=%d misses=%d, want %d/0",
+			res.CacheHits, res.CacheMisses, res.Configs)
+	}
+	if !res.DiskUnchanged {
+		t.Error("re-sweep over merged store rewrote it")
+	}
+
+	// The assemble path rebuilds the same result with zero simulation.
+	asm, err := AssembleFromStore(spec, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.CacheHits, res.CacheMisses, res.DiskLoaded, res.DiskUnchanged, res.Workers = 0, 0, 0, false, 0
+	asm.CacheHits, asm.CacheMisses, asm.DiskLoaded = 0, 0, 0
+	j1, _ := res.MarshalJSON()
+	j2, _ := asm.MarshalJSON()
+	if !bytes.Equal(j1, j2) {
+		t.Error("assembled result differs from the swept one")
+	}
+}
+
+func TestMergeStoresIdempotentAndOrderIndependent(t *testing.T) {
+	spec := shardSpec()
+	dir := t.TempDir()
+	const n = 3
+	for i := 0; i < n; i++ {
+		if _, err := Sweep(spec, SweepOptions{
+			Cache: NewCache(), CacheDir: dir, ShardIndex: i, ShardCount: n,
+		}); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if _, _, err := MergeStores(dir); err != nil {
+		t.Fatal(err)
+	}
+	first, err := os.ReadFile(DiskCachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Idempotence: a second merge (now absorbing the canonical store
+	// too) rewrites the identical bytes.
+	files, _, err := MergeStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != n+1 {
+		t.Errorf("re-merge consumed %d stores, want %d (canonical + shards)", files, n+1)
+	}
+	again, err := os.ReadFile(DiskCachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, again) {
+		t.Error("merge is not idempotent")
+	}
+
+	// Order independence: renaming the shard files so they load in a
+	// different order changes nothing — the union is keyed by hash and
+	// SaveFile orders output by hash.
+	swapped := t.TempDir()
+	for i := 0; i < n; i++ {
+		data, err := os.ReadFile(ShardStorePath(dir, i, n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(ShardStorePath(swapped, n-1-i, n), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := MergeStores(swapped); err != nil {
+		t.Fatal(err)
+	}
+	reordered, err := os.ReadFile(DiskCachePath(swapped))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, reordered) {
+		t.Error("merge depends on shard-store load order")
+	}
+}
+
+func TestMergeStoresEmptyDirErrors(t *testing.T) {
+	if _, _, err := MergeStores(t.TempDir()); err == nil {
+		t.Error("merging a directory with no stores should error")
+	}
+}
+
+func TestMergeStoresDirWithGlobMetacharacters(t *testing.T) {
+	// Stores are found by listing the directory, not by globbing its
+	// path, so a cache dir named like a pattern still merges.
+	dir := filepath.Join(t.TempDir(), "glob[1]")
+	spec := SweepSpec{Archs: []sim.Arch{sim.Baseline}, Curves: []string{"P-192"}}
+	if _, err := Sweep(spec, SweepOptions{
+		Cache: NewCache(), CacheDir: dir, ShardIndex: 0, ShardCount: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Sweep(spec, SweepOptions{
+		Cache: NewCache(), CacheDir: dir, ShardIndex: 1, ShardCount: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files, entries, err := MergeStores(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 || entries != 1 {
+		t.Errorf("merge in a metacharacter dir: files=%d entries=%d, want 2/1", files, entries)
+	}
+}
+
+func TestShardedSweepIgnoresSharedProcessCache(t *testing.T) {
+	// Warm the process-wide cache (nil SweepOptions.Cache) with a spec
+	// outside the sharded grid; the shard stores must not pick up those
+	// results, or the merged store would not be byte-identical to an
+	// unsharded sweep's.
+	foreign := SweepSpec{Archs: []sim.Arch{sim.ISAExt}, Curves: []string{"P-384"}}
+	if _, err := Sweep(foreign, SweepOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	spec := SweepSpec{Archs: []sim.Arch{sim.Baseline}, Curves: []string{"P-192", "B-163"}}
+
+	single := t.TempDir()
+	if _, err := Sweep(spec, SweepOptions{Cache: NewCache(), CacheDir: single}); err != nil {
+		t.Fatal(err)
+	}
+	sharded := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if _, err := Sweep(spec, SweepOptions{
+			CacheDir: sharded, ShardIndex: i, ShardCount: 2, // Cache nil on purpose
+		}); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	if _, _, err := MergeStores(sharded); err != nil {
+		t.Fatal(err)
+	}
+	a, err := os.ReadFile(DiskCachePath(single))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(DiskCachePath(sharded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Error("shard stores leaked shared-cache results from an unrelated sweep")
+	}
+}
+
+func TestLoadGlobMergesMatchingStores(t *testing.T) {
+	spec := SweepSpec{Archs: []sim.Arch{sim.Baseline}, Curves: []string{"P-192", "B-163"}}
+	dir := t.TempDir()
+	for i := 0; i < 2; i++ {
+		if _, err := Sweep(spec, SweepOptions{
+			Cache: NewCache(), CacheDir: dir, ShardIndex: i, ShardCount: 2,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewCache()
+	files, entries, err := c.LoadGlob(filepath.Join(dir, "results.v2.shard-*-of-*.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if files != 2 || entries != 2 || c.Len() != 2 {
+		t.Errorf("LoadGlob: files=%d entries=%d len=%d, want 2/2/2", files, entries, c.Len())
+	}
+	// No matches is a clean no-op, a malformed pattern an error.
+	if files, entries, err := c.LoadGlob(filepath.Join(dir, "nope-*.jsonl")); files != 0 || entries != 0 || err != nil {
+		t.Errorf("LoadGlob on no matches: %d/%d/%v, want 0/0/nil", files, entries, err)
+	}
+	if _, _, err := c.LoadGlob("[malformed"); err == nil {
+		t.Error("LoadGlob with a malformed pattern should error")
+	}
+}
+
+func TestAssembleFromStoreMissingConfigErrors(t *testing.T) {
+	spec := shardSpec()
+	dir := t.TempDir()
+	// Only shard 0 of 2 has run and nothing was merged: the canonical
+	// store is absent, then (after a merge) incomplete.
+	if _, err := Sweep(spec, SweepOptions{
+		Cache: NewCache(), CacheDir: dir, ShardIndex: 0, ShardCount: 2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssembleFromStore(spec, dir); err == nil {
+		t.Error("assembling without a canonical store should error")
+	}
+	if _, _, err := MergeStores(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AssembleFromStore(spec, dir); err == nil {
+		t.Error("assembling from a store missing shard 1's results should error")
+	}
+}
+
+func TestSweepShardValidation(t *testing.T) {
+	spec := SweepSpec{Archs: []sim.Arch{sim.Baseline}, Curves: []string{"P-192"}}
+	bad := []SweepOptions{
+		{ShardCount: -1},
+		{ShardIndex: -1, ShardCount: 2},
+		{ShardIndex: 2, ShardCount: 2},
+		{ShardIndex: 1}, // index without a count
+	}
+	for _, opt := range bad {
+		opt.Cache = NewCache()
+		if _, err := Sweep(spec, opt); err == nil {
+			t.Errorf("shard options %+v should be rejected", opt)
+		}
+	}
+	// ShardCount 1 is explicitly unsharded, not an error.
+	res, err := Sweep(spec, SweepOptions{Cache: NewCache(), ShardCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ShardCount != 0 {
+		t.Errorf("ShardCount=1 result records shard identity %d/%d, want none",
+			res.ShardIndex, res.ShardCount)
+	}
+}
+
+// TestSweepFlushesPartialResultsOnError is the regression test for the
+// flush-on-error bug: a sweep that dies on its final configuration must
+// still persist every earlier result, not discard the whole run.
+func TestSweepFlushesPartialResultsOnError(t *testing.T) {
+	spec := diskSpec()
+	cfgs := spec.Expand()
+	if len(cfgs) < 2 {
+		t.Fatalf("spec too small: %d configs", len(cfgs))
+	}
+	last := cfgs[len(cfgs)-1]
+
+	// Poison the final configuration so the sweep fails exactly there.
+	cache := NewCache()
+	boom := errors.New("injected simulator failure")
+	cache.mu.Lock()
+	cache.m[last.Hash()] = cacheEntry{err: boom}
+	cache.mu.Unlock()
+
+	dir := t.TempDir()
+	_, err := Sweep(spec, SweepOptions{Workers: 1, Cache: cache, CacheDir: dir})
+	if !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want the injected failure", err)
+	}
+
+	// Every successfully simulated point survived in the store; the
+	// failed config was not persisted and will be retried next run.
+	fresh := NewCache()
+	n, err := fresh.LoadFile(DiskCachePath(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(cfgs) - 1; n != want {
+		t.Errorf("store holds %d results after failed sweep, want %d", n, want)
+	}
+	if _, ok := fresh.lookup(last.Hash()); ok {
+		t.Error("failed config was persisted")
+	}
+	for _, cfg := range cfgs[:len(cfgs)-1] {
+		if _, ok := fresh.lookup(cfg.Hash()); !ok {
+			t.Errorf("store lost successfully simulated config %q", cfg.Key())
+		}
+	}
+}
+
+func TestPointToJSONCanonicalizesOptions(t *testing.T) {
+	// A caller-built non-canonical point must emit option fields
+	// consistent with its own hash: an uncached arch shows no cache
+	// geometry or accelerator knobs regardless of what the caller left
+	// in the raw Options.
+	raw := Config{Arch: sim.Baseline, Curve: "P-192", Opt: sim.Options{
+		CacheBytes: 1 << 10, Prefetch: true, BillieDigit: 5, DoubleBuffer: true, MonteWidth: 16,
+	}}
+	res, err := sim.Run(raw.Arch, raw.Curve, sim.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := newPoint(raw, res).ToJSON()
+	canon := newPoint(raw.Canonical(), res).ToJSON()
+	rawBytes, _ := json.Marshal(j)
+	canonBytes, _ := json.Marshal(canon)
+	if !bytes.Equal(rawBytes, canonBytes) {
+		t.Errorf("non-canonical point wire form diverges:\n  raw:   %s\n  canon: %s", rawBytes, canonBytes)
+	}
+	if j.CacheBytes != 0 || j.Prefetch || j.BillieDigit != 0 || j.DoubleBuffer || j.MonteWidth != 0 {
+		t.Errorf("uncached-arch point leaks irrelevant knobs: %+v", j)
+	}
+	if j.Hash != raw.Hash() {
+		t.Errorf("wire hash %s != config hash %s", j.Hash, raw.Hash())
+	}
+}

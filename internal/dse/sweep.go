@@ -27,6 +27,19 @@ type SweepOptions struct {
 	// point was served from cache. Calls are serialized; the callback
 	// runs on worker goroutines and should be fast.
 	Progress func(done, total int, cached bool)
+	// ShardIndex/ShardCount split the expanded configuration list across
+	// cooperating processes or hosts: shard i of n evaluates only the
+	// configurations whose canonical hash ShardOf maps to i, so any
+	// runner set covering every index evaluates the grid exactly once.
+	// ShardCount <= 1 means unsharded. With CacheDir set, a shard loads
+	// the canonical store plus its own shard store and flushes only the
+	// latter (ShardStorePath); MergeStores later combines the shard
+	// stores into the canonical one. A sharded sweep with a nil Cache
+	// uses a private cache, not the process-wide one, so its shard store
+	// cannot pick up shard-owned results from unrelated sweeps; an
+	// explicit Cache is flushed as-is, like any other sweep.
+	ShardIndex int
+	ShardCount int
 }
 
 // SweepResult is the outcome of exploring one SweepSpec.
@@ -38,8 +51,15 @@ type SweepResult struct {
 	Points []Point
 
 	RawPoints int // size of the un-pruned cross-product
-	Configs   int // unique valid configurations simulated
+	Configs   int // unique valid configurations this run evaluated
 	Workers   int // pool width actually used
+
+	// ShardIndex/ShardCount record the shard identity when the sweep ran
+	// as one shard of a larger grid (ShardCount > 1); both zero
+	// otherwise. A sharded result's Points cover only that shard's
+	// configurations.
+	ShardIndex int
+	ShardCount int
 
 	// Cache accounting for this sweep only (not cumulative).
 	CacheHits   uint64
@@ -48,6 +68,10 @@ type SweepResult struct {
 	// Disk-cache accounting when SweepOptions.CacheDir was set.
 	DiskLoaded int // entries loaded from the persistent store
 	DiskSaved  int // entries flushed back to it
+	// DiskUnchanged reports that the flush was skipped because the store
+	// already held exactly the cache content (nothing was written, so
+	// DiskSaved is 0).
+	DiskUnchanged bool
 }
 
 // Sweep explores the spec's cross-product on a sharded worker pool. Each
@@ -58,7 +82,20 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
+	if opt.ShardCount < 0 {
+		return nil, fmt.Errorf("dse: negative shard count %d", opt.ShardCount)
+	}
+	sharded := opt.ShardCount > 1
+	if sharded && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
+		return nil, fmt.Errorf("dse: shard index %d out of range [0, %d)", opt.ShardIndex, opt.ShardCount)
+	}
+	if !sharded && opt.ShardIndex != 0 {
+		return nil, fmt.Errorf("dse: shard index %d without a shard count", opt.ShardIndex)
+	}
 	cfgs := spec.Expand()
+	if sharded {
+		cfgs = shardConfigs(cfgs, opt.ShardIndex, opt.ShardCount)
+	}
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -69,6 +106,13 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	cache := opt.Cache
 	if cache == nil {
 		cache = sharedCache
+		if sharded {
+			// The process-wide cache may hold shard-owned results from
+			// unrelated specs; flushing those into the shard store would
+			// break the merged store's byte-identity with an unsharded
+			// sweep. A shard therefore defaults to a private cache.
+			cache = NewCache()
+		}
 	}
 	var diskLoaded int
 	if opt.CacheDir != "" {
@@ -77,6 +121,15 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 			return nil, err
 		}
 		diskLoaded = n
+		if sharded {
+			// A shard also reads its own store, so re-running a shard
+			// before any merge is still served from disk.
+			n, err := cache.LoadFile(ShardStorePath(opt.CacheDir, opt.ShardIndex, opt.ShardCount))
+			if err != nil {
+				return nil, err
+			}
+			diskLoaded += n
+		}
 	}
 
 	points := make([]Point, len(cfgs))
@@ -135,37 +188,68 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	close(jobs)
 	wg.Wait()
 
+	var sweepErr error
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			sweepErr = err
+			break
 		}
 	}
 
+	// The flush happens even when the sweep failed: every successfully
+	// simulated point is persisted before the error propagates, so a
+	// sweep that dies on its last configuration costs one retry, not a
+	// full re-simulation. (SaveFile never persists error entries.)
 	var diskSaved int
+	var diskUnchanged bool
 	if opt.CacheDir != "" {
+		path := DiskCachePath(opt.CacheDir)
+		var keep func(hash string) bool
+		if sharded {
+			// A shard owns only its partition of the hash space; its
+			// store must hold exactly that, or merged stores would not
+			// be byte-identical to an unsharded one.
+			path = ShardStorePath(opt.CacheDir, opt.ShardIndex, opt.ShardCount)
+			index, count := opt.ShardIndex, opt.ShardCount
+			keep = func(hash string) bool { return ShardOf(hash, count) == index }
+		}
 		// When the store already satisfied the whole sweep and the
 		// in-memory cache holds nothing beyond what it served, the
-		// flush would rewrite identical bytes — skip it.
-		if misses.Load() == 0 && cache.Len() == diskLoaded {
-			diskSaved = diskLoaded
+		// flush would rewrite identical bytes — skip it and report an
+		// unchanged store (not a phantom save).
+		if sweepErr == nil && !sharded && misses.Load() == 0 && cache.Len() == diskLoaded {
+			diskUnchanged = true
 		} else {
-			n, err := cache.SaveFile(DiskCachePath(opt.CacheDir))
+			n, err := cache.saveFile(path, keep)
 			if err != nil {
+				if sweepErr != nil {
+					return nil, fmt.Errorf("%w (and flushing partial results failed: %v)", sweepErr, err)
+				}
 				return nil, err
 			}
 			diskSaved = n
 		}
 	}
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
 
+	shardIndex, shardCount := 0, 0
+	if sharded {
+		shardIndex, shardCount = opt.ShardIndex, opt.ShardCount
+	}
 	return &SweepResult{
-		Spec:        spec,
-		Points:      points,
-		RawPoints:   spec.RawPoints(),
-		Configs:     len(cfgs),
-		Workers:     workers,
-		CacheHits:   hits.Load(),
-		CacheMisses: misses.Load(),
-		DiskLoaded:  diskLoaded,
-		DiskSaved:   diskSaved,
+		Spec:          spec,
+		Points:        points,
+		RawPoints:     spec.RawPoints(),
+		Configs:       len(cfgs),
+		Workers:       workers,
+		ShardIndex:    shardIndex,
+		ShardCount:    shardCount,
+		CacheHits:     hits.Load(),
+		CacheMisses:   misses.Load(),
+		DiskLoaded:    diskLoaded,
+		DiskSaved:     diskSaved,
+		DiskUnchanged: diskUnchanged,
 	}, nil
 }

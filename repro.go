@@ -257,8 +257,43 @@ func FullSweepSpec() SweepSpec { return dse.FullSweep() }
 // Setting SweepOptions.CacheDir makes that cache persistent: results are
 // loaded from disk before the sweep and flushed back after, so repeating
 // a sweep is near-free even across process restarts.
+//
+// Setting SweepOptions.ShardIndex/ShardCount splits the sweep across
+// cooperating processes or hosts: shard i of n evaluates only the
+// configurations whose canonical hash maps to shard i, flushing them to
+// a per-shard store inside CacheDir. MergeSweepStores combines the shard
+// stores into the canonical single store, and AssembleSweepFromStore
+// rebuilds the full SweepResult from it without re-simulating anything.
 func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	return dse.Sweep(spec, opt)
+}
+
+// MergeSweepStores combines the canonical and per-shard result stores in
+// dir into the canonical single store, returning how many store files
+// contributed and how many results the merged store holds. The merge is
+// a set union keyed by config hash — idempotent, order-independent, and
+// byte-identical to the store an unsharded sweep of the same grid would
+// write.
+func MergeSweepStores(dir string) (files, entries int, err error) {
+	return dse.MergeStores(dir)
+}
+
+// AssembleSweepFromStore rebuilds the full SweepResult for spec from the
+// canonical store in dir with zero re-simulation; every configuration of
+// the spec must already be present (the state after sharded sweeps plus
+// MergeSweepStores), and a missing one is a named error.
+func AssembleSweepFromStore(spec SweepSpec, dir string) (*SweepResult, error) {
+	return dse.AssembleFromStore(spec, dir)
+}
+
+// SweepStorePath returns the canonical result-store path inside a sweep
+// cache directory.
+func SweepStorePath(dir string) string { return dse.DiskCachePath(dir) }
+
+// SweepShardStorePath returns the store path shard index of count
+// flushes inside a sweep cache directory.
+func SweepShardStorePath(dir string, index, count int) string {
+	return dse.ShardStorePath(dir, index, count)
 }
 
 // Pareto returns the energy-vs-latency Pareto frontier of a point set,
