@@ -320,6 +320,33 @@ func BenchmarkSweepWarmDisk(b *testing.B) {
 	}
 }
 
+// BenchmarkConfigKey measures the canonical-key rendering — the inner
+// loop of every cache lookup, dedup and shard-partition decision — so
+// the cost of the registry-driven rendering stays visible against the
+// pre-registry hand-written Sprintf.
+func BenchmarkConfigKey(b *testing.B) {
+	cfg := dse.Config{Arch: sim.WithMonte, Curve: "P-256",
+		Opt: sim.Options{MonteWidth: 16, GateAccelIdle: true, Workload: sim.WorkloadHandshake}}
+	b.ReportAllocs()
+	var key string
+	for i := 0; i < b.N; i++ {
+		key = cfg.Key()
+	}
+	b.ReportMetric(float64(len(key)), "key-bytes")
+}
+
+// BenchmarkExpand measures expanding the full design-space grid —
+// cross-product, canonicalization and dedup over every registered axis.
+func BenchmarkExpand(b *testing.B) {
+	spec := dse.FullSweep()
+	b.ReportAllocs()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = len(spec.Expand())
+	}
+	b.ReportMetric(float64(n), "configs")
+}
+
 // --- FFAU micro-engine: the width-swept CIOS inner loop ---
 
 // BenchmarkFFAUInnerLoop executes the real CIOS microprogram on the

@@ -8,6 +8,7 @@
 //	dse -exp fig7.1              # one experiment (see -list)
 //	dse -arch monte -curve P-256 # one configuration
 //	dse -arch monte -workload handshake  # price the WSN handshake scenario
+//	dse -arch isa-ext+icache -line 32    # non-default I-cache line size
 //	dse -list                    # experiment identifiers
 //	dse -sweep                   # full design-space sweep
 //	dse -sweep -workers 8 -json  # machine-readable, 8-way parallel
@@ -28,6 +29,11 @@
 //	dse -sweep -shard 1/2 -cache-dir .dse   # runner 2 (any machine, same dir)
 //	dse -merge-cache -cache-dir .dse        # combine the shard stores
 //	dse -sweep -cache-dir .dse              # re-sweep: 100% cache hits
+//
+// The per-axis flags (-cache, -prefetch, -ideal-cache,
+// -no-double-buffer, -width, -digit, -gate-accel-idle, -line,
+// -workload) are generated from the dse axis registry; -list prints the
+// registry alongside the experiment identifiers.
 package main
 
 import (
@@ -42,21 +48,13 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		exp      = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
-		list     = flag.Bool("list", false, "list experiment identifiers")
-		arch     = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
-		curve    = flag.String("curve", "P-256", "curve for -arch runs")
-		cache    = flag.Int("cache", 4096, "I-cache bytes for cached configurations")
-		pf       = flag.Bool("prefetch", false, "enable the stream-buffer prefetcher")
-		nodb     = flag.Bool("no-double-buffer", false, "disable Monte double buffering")
-		digit    = flag.Int("digit", 3, "Billie multiplier digit size")
-		width    = flag.Int("width", 32, "Monte FFAU datapath width in bits (8/16/32/64)")
-		workload = flag.String("workload", "", "priced scenario(s): "+strings.Join(repro.WorkloadNames(), ", ")+
-			" (default sign-verify; with -sweep a comma-separated list sets the workload axis"+
-			" to exactly those scenarios, replacing the default — include sign-verify to keep it)")
+		all   = flag.Bool("all", false, "regenerate every table and figure")
+		exp   = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
+		list  = flag.Bool("list", false, "list experiment identifiers and design-space axes")
+		arch  = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
+		curve = flag.String("curve", "P-256", "curve for -arch runs")
 
-		sweep    = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/width/digit sub-sweeps)")
+		sweep    = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/line/width/digit sub-sweeps)")
 		pareto   = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
 		workers  = flag.Int("workers", 0, "sweep worker-pool width (0 = GOMAXPROCS)")
 		jsonOut  = flag.Bool("json", false, "with -sweep: machine-readable JSON output")
@@ -67,7 +65,15 @@ func main() {
 
 		mergeCache = flag.Bool("merge-cache", false, "merge the per-shard result stores in -cache-dir into the canonical single store")
 	)
+	// Every design-space knob (-cache, -prefetch, -ideal-cache,
+	// -no-double-buffer, -width, -digit, -gate-accel-idle, -line,
+	// -workload) is generated from the dse axis registry: registering a
+	// new axis there surfaces its flag here with no per-flag wiring.
+	applyAxes := repro.RegisterAxisFlags(flag.CommandLine)
 	flag.Parse()
+	// The workload flag doubles as the sweep-mode axis list, so its raw
+	// string is read back from the generated flag.
+	workload := flag.CommandLine.Lookup("workload").Value.String()
 
 	// Exactly one mode may be selected; a second mode flag would be
 	// silently dropped on the floor otherwise (e.g. -sweep -arch monte
@@ -86,13 +92,39 @@ func main() {
 	// The experiment renderers price fixed scenarios and the merge is
 	// workload-agnostic; a -workload that would be silently ignored is
 	// an error, not default output.
-	if *workload != "" && (*all || *exp != "" || *list || *mergeCache) {
+	if workload != "" && (*all || *exp != "" || *list || *mergeCache) {
 		fmt.Fprintln(os.Stderr, "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments and -merge-cache merges every stored result")
 		os.Exit(1)
+	}
+	// The other axis flags configure a single -arch run; a sweep
+	// explores the FullSweep axis grid (subset it with -curves and
+	// -workload), so an axis flag any other mode would silently drop is
+	// an error too.
+	if *arch == "" {
+		isAxis := make(map[string]bool)
+		for _, name := range repro.AxisFlagNames() {
+			isAxis[name] = true
+		}
+		flag.Visit(func(f *flag.Flag) {
+			if isAxis[f.Name] && f.Name != "workload" {
+				fmt.Fprintf(os.Stderr, "-%s applies to -arch runs only; -sweep explores the full axis grid (use -curves/-workload to subset it)\n", f.Name)
+				os.Exit(1)
+			}
+		})
 	}
 	if (*shard != "" || *curves != "") && !*sweep {
 		fmt.Fprintln(os.Stderr, "-shard and -curves apply to -sweep only")
 		os.Exit(1)
+	}
+	if !*sweep {
+		if *jsonOut || *pareto || *workers != 0 || *progress {
+			fmt.Fprintln(os.Stderr, "-json, -pareto, -workers and -progress apply to -sweep only")
+			os.Exit(1)
+		}
+		if *cacheDir != "" && !*mergeCache {
+			fmt.Fprintln(os.Stderr, "-cache-dir applies to -sweep and -merge-cache only")
+			os.Exit(1)
+		}
 	}
 
 	switch {
@@ -100,8 +132,10 @@ func main() {
 		for _, n := range repro.ExperimentNames() {
 			fmt.Println(n)
 		}
+		fmt.Println("\ndesign-space axes (SweepSpec fields / flags, generated from the axis registry):")
+		fmt.Print(repro.AxesHelp())
 	case *sweep:
-		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, *workload, *curves, *shard, *progress); err != nil {
+		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, workload, *curves, *shard, *progress); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -133,12 +167,7 @@ func main() {
 			os.Exit(1)
 		}
 		opt := repro.DefaultOptions()
-		opt.CacheBytes = *cache
-		opt.Prefetch = *pf
-		opt.DoubleBuffer = !*nodb
-		opt.BillieDigit = *digit
-		opt.MonteWidth = *width
-		opt.Workload = *workload
+		applyAxes(&opt)
 		r, err := repro.Simulate(a, *curve, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -12,13 +12,34 @@ import (
 	"repro/internal/mem"
 )
 
-// LineBytes is the cache block size: four 32-bit words, matching the
-// 128-bit ROM port that fills a whole line at once (Section 5.3.2).
+// LineBytes is the default cache block size: four 32-bit words, matching
+// the 128-bit ROM port that fills a whole line in one beat (Section
+// 5.3.2). NewWithLine builds caches with other power-of-two line sizes;
+// the port width stays fixed, so longer lines fill in several beats.
 const LineBytes = 16
 
 // MissPenalty is the stall seen by the core on a miss; the 128-bit ROM
-// port keeps it at three cycles (Section 7.5).
+// port keeps it at three cycles for a single-beat line (Section 7.5).
 const MissPenalty = 3
+
+// BeatsPerFill is how many 128-bit ROM port reads one fill of a
+// lineBytes-sized line takes; lines narrower than the port still cost
+// one full beat. Both the hardware model here and sim's analytic miss
+// model derive their fill costs from this one formula.
+func BeatsPerFill(lineBytes int) int {
+	beats := lineBytes / LineBytes
+	if beats < 1 {
+		beats = 1
+	}
+	return beats
+}
+
+// MissPenaltyFor is the core stall per miss at a line size: the 3-cycle
+// fill for a single-beat line, plus one cycle per extra pipelined ROM
+// beat on longer lines.
+func MissPenaltyFor(lineBytes int) int {
+	return MissPenalty + (BeatsPerFill(lineBytes) - 1)
+}
 
 // Stats counts cache events for the energy model.
 type Stats struct {
@@ -32,8 +53,12 @@ type Stats struct {
 // ICache is a direct-mapped instruction cache with an optional prefetcher.
 type ICache struct {
 	SizeBytes int
-	Prefetch  bool
-	Ideal     bool // never miss (Figure 7.11's bound)
+	// Line is the line size in bytes (LineBytes unless built with
+	// NewWithLine). Lines longer than the 128-bit ROM port fill in
+	// several pipelined beats.
+	Line     int
+	Prefetch bool
+	Ideal    bool // never miss (Figure 7.11's bound)
 
 	Mem   *mem.System
 	Stats Stats
@@ -47,14 +72,26 @@ type ICache struct {
 	pfLine  uint32 // line address held in the prefetch buffer
 }
 
-// New builds an instruction cache of sizeBytes capacity over ROM.
+// New builds an instruction cache of sizeBytes capacity over ROM with
+// the default 16-byte line of Section 5.3.
 func New(sizeBytes int, prefetch bool, m *mem.System) *ICache {
-	lines := sizeBytes / LineBytes
+	return NewWithLine(sizeBytes, LineBytes, prefetch, m)
+}
+
+// NewWithLine builds an instruction cache with an explicit line size —
+// the knob the paper fixes at 16 bytes. Both the capacity and the line
+// must give a power-of-two number of lines.
+func NewWithLine(sizeBytes, lineBytes int, prefetch bool, m *mem.System) *ICache {
+	if lineBytes <= 0 || lineBytes&(lineBytes-1) != 0 {
+		panic(fmt.Sprintf("cache: line size %d is not a power of two", lineBytes))
+	}
+	lines := sizeBytes / lineBytes
 	if lines <= 0 || lines&(lines-1) != 0 {
-		panic(fmt.Sprintf("cache: size %d is not a power-of-two number of lines", sizeBytes))
+		panic(fmt.Sprintf("cache: size %d is not a power-of-two number of %d-byte lines", sizeBytes, lineBytes))
 	}
 	return &ICache{
 		SizeBytes: sizeBytes,
+		Line:      lineBytes,
 		Prefetch:  prefetch,
 		Mem:       m,
 		lines:     lines,
@@ -70,6 +107,13 @@ func NewIdeal(sizeBytes int, m *mem.System) *ICache {
 	return c
 }
 
+// readLine charges one line fill's worth of ROM traffic.
+func (c *ICache) readLine() {
+	for i := 0; i < BeatsPerFill(c.Line); i++ {
+		c.Mem.CountLineFill()
+	}
+}
+
 // Fetch implements cpu.FetchModel: it returns the stall cycles this
 // instruction fetch costs beyond the base cycle.
 func (c *ICache) Fetch(addr uint32) int {
@@ -77,7 +121,7 @@ func (c *ICache) Fetch(addr uint32) int {
 	if c.Ideal {
 		return 0
 	}
-	line := addr / LineBytes
+	line := addr / uint32(c.Line)
 	idx := line % uint32(c.lines)
 	if c.valid[idx] && c.tags[idx] == line {
 		return 0 // hit
@@ -92,14 +136,15 @@ func (c *ICache) Fetch(addr uint32) int {
 		c.prefetchNext(line)
 		return 0
 	}
-	// Real miss: read the 128-bit line from ROM.
-	c.Mem.CountLineFill()
+	// Real miss: read the line from ROM, one beat per 128 bits, the
+	// beats beyond the first pipelined behind the 3-cycle fill.
+	c.readLine()
 	c.Stats.LineFills++
 	c.fill(idx, line)
 	if c.Prefetch {
 		c.prefetchNext(line)
 	}
-	return MissPenalty
+	return MissPenaltyFor(c.Line)
 }
 
 func (c *ICache) fill(idx, line uint32) {
@@ -112,7 +157,7 @@ func (c *ICache) prefetchNext(line uint32) {
 	if c.pfValid && c.pfLine == next {
 		return
 	}
-	c.Mem.CountLineFill()
+	c.readLine()
 	c.Stats.PrefetchFills++
 	c.pfValid = true
 	c.pfLine = next

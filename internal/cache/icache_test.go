@@ -104,6 +104,42 @@ func TestBadSizePanics(t *testing.T) {
 	New(1000, false, mem.NewSystem())
 }
 
+func TestBadLinePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two line should panic")
+		}
+	}()
+	NewWithLine(1024, 24, false, mem.NewSystem())
+}
+
+// TestWiderLines pins the line-size hardware semantics: a sequential
+// stream misses half as often on 32-byte lines, each miss stalls one
+// extra cycle (second 128-bit ROM beat), and each fill reads the ROM
+// port twice.
+func TestWiderLines(t *testing.T) {
+	m16, m32 := mem.NewSystem(), mem.NewSystem()
+	c16 := New(1024, false, m16)
+	c32 := NewWithLine(1024, 32, false, m32)
+	var stall16, stall32 int
+	for a := uint32(0); a < 64*16; a += 4 {
+		stall16 += c16.Fetch(a)
+		stall32 += c32.Fetch(a)
+	}
+	if c32.Stats.Misses*2 != c16.Stats.Misses {
+		t.Errorf("sequential misses: 32B=%d 16B=%d, want exactly half",
+			c32.Stats.Misses, c16.Stats.Misses)
+	}
+	if wantStall := int(c32.Stats.Misses) * (MissPenalty + 1); stall32 != wantStall {
+		t.Errorf("32B-line stalls = %d, want %d (penalty %d per miss)",
+			stall32, wantStall, MissPenalty+1)
+	}
+	if m32.Stats.ROMLineReads != c32.Stats.LineFills*2 {
+		t.Errorf("32B fills read ROM %d times for %d fills, want 2 beats each",
+			m32.Stats.ROMLineReads, c32.Stats.LineFills)
+	}
+}
+
 func TestLargerCacheFewerMisses(t *testing.T) {
 	// A working set of 128 lines thrashes a 64-line (1KB) cache but
 	// fits an 8KB one.

@@ -1,0 +1,454 @@
+package dse
+
+import (
+	"flag"
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/sim"
+)
+
+// This file is the single point of registration for design-space option
+// axes. One Axis value declares everything the stack needs to know about
+// a knob — its canonical key token and elision rule, its default, which
+// architectures it is relevant to, how it reads/writes sim.Options and
+// SweepSpec, its value-domain check (shared with sim.Run's validation),
+// its human label fragment, its JSON rendering, and its CLI flag — and
+// every layer (Config.Canonical/Key/OptionsLabel, SweepSpec.normalized/
+// Validate/RawPoints/Expand, Point.ToJSON, cmd/dse's flag set and -list
+// help) iterates the registry instead of hand-written field lists.
+//
+// Adding an axis therefore means: one field on sim.Options (with its
+// model), one slice field on SweepSpec, one field on PointJSON, and one
+// entry below. Nothing else in the repository names the knob. The
+// CacheLineBytes axis is the proof: it was added through this registry
+// alone. Registry order is load-bearing twice over: it is the canonical
+// key token order (changing it changes every config hash) and the
+// Expand odometer order (last entry varies fastest).
+
+// Axis declares one design-space option knob.
+type Axis struct {
+	// Name identifies the axis in documentation and help text.
+	Name string
+	// Doc is a one-line description for generated help.
+	Doc string
+	// Domain describes the accepted values for generated help.
+	Domain string
+	// Flag is the CLI flag cmd/dse generates for the axis.
+	Flag FlagSpec
+
+	// normalize fills the axis's SweepSpec field with its single-value
+	// default set when unset (nil/empty).
+	normalize func(s *SweepSpec)
+	// specValues returns the axis's SweepSpec values boxed for the
+	// generic odometer; call on a normalized spec.
+	specValues func(s *SweepSpec) []any
+	// check validates one value against the modeled domain (the same
+	// sim.Check* the simulator's own validation runs); nil means every
+	// value of the type is in-model.
+	check func(v any) error
+	// set writes one value into the options.
+	set func(o *sim.Options, v any)
+
+	// canon rewrites the option toward its canonical form (zero-value →
+	// default, or default → elided zero); nil means the zero value is
+	// already canonical.
+	canon func(o *sim.Options)
+	// relevant reports whether the knob physically exists on the
+	// config's architecture (evaluated after every canon has run); nil
+	// means always relevant.
+	relevant func(c *Config) bool
+	// clear forces the knob to its irrelevant zero value.
+	clear func(o *sim.Options)
+
+	// keyToken renders the canonical key token ("cache=4096"); ""
+	// elides the token, which is how a new axis keeps every pre-existing
+	// key and hash byte-identical at its default.
+	keyToken func(o *sim.Options) string
+	// label renders the OptionsLabel fragment; attach appends it to the
+	// previous fragment without a space ("4KB"+"+pf"). Empty means no
+	// fragment.
+	label func(c *Config) (frag string, attach bool)
+	// toJSON copies the canonical option value into the wire form.
+	toJSON func(c *Config, j *PointJSON)
+}
+
+// FlagKind selects the CLI flag type generated for an axis.
+type FlagKind int
+
+const (
+	FlagInt FlagKind = iota
+	FlagBool
+	FlagString
+)
+
+// FlagSpec declares an axis's CLI flag.
+type FlagSpec struct {
+	Name      string
+	Usage     string
+	Kind      FlagKind
+	DefInt    int
+	DefBool   bool
+	DefString string
+	// Invert makes a bool flag mean the opposite of the option value
+	// (-no-double-buffer sets DoubleBuffer=false).
+	Invert bool
+}
+
+func boxInts(vs []int) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+func boxBools(vs []bool) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+func boxStrings(vs []string) []any {
+	out := make([]any, len(vs))
+	for i, v := range vs {
+		out[i] = v
+	}
+	return out
+}
+
+// axes is the registry, in canonical key-token order (which is also the
+// Expand odometer order: the last axis varies fastest). The order and
+// token spellings reproduce the PR-1..4 hand-written Key exactly; the
+// FuzzConfigHash legacy-rendering check and the FullSweep manifest
+// golden pin that equivalence.
+var axes = []*Axis{
+	{
+		Name:   "cache",
+		Doc:    "I-cache capacity (cached architectures only)",
+		Domain: fmt.Sprintf("%d..%d bytes", sim.MinCacheBytes, sim.MaxCacheBytes),
+		Flag:   FlagSpec{Name: "cache", Kind: FlagInt, DefInt: 4096, Usage: "I-cache bytes for cached configurations"},
+		normalize: func(s *SweepSpec) {
+			if len(s.CacheBytes) == 0 {
+				s.CacheBytes = []int{4096}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxInts(s.CacheBytes) },
+		check:      func(v any) error { return sim.CheckCacheBytes(v.(int)) },
+		set:        func(o *sim.Options, v any) { o.CacheBytes = v.(int) },
+		canon: func(o *sim.Options) {
+			if o.CacheBytes == 0 {
+				o.CacheBytes = 4096
+			}
+		},
+		relevant: func(c *Config) bool { return c.Arch.HasCache() },
+		clear:    func(o *sim.Options) { o.CacheBytes = 0 },
+		keyToken: func(o *sim.Options) string { return "cache=" + strconv.Itoa(o.CacheBytes) },
+		label: func(c *Config) (string, bool) {
+			if !c.Arch.HasCache() {
+				return "", false
+			}
+			return fmt.Sprintf("%dKB", c.Opt.CacheBytes/1024), false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.CacheBytes = c.Opt.CacheBytes },
+	},
+	{
+		Name:   "prefetch",
+		Doc:    "stream-buffer prefetcher (Section 5.3.3)",
+		Domain: "bool",
+		Flag:   FlagSpec{Name: "prefetch", Kind: FlagBool, Usage: "enable the stream-buffer prefetcher"},
+		normalize: func(s *SweepSpec) {
+			if len(s.Prefetch) == 0 {
+				s.Prefetch = []bool{false}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxBools(s.Prefetch) },
+		set:        func(o *sim.Options, v any) { o.Prefetch = v.(bool) },
+		// A never-miss cache has no misses to prefetch for.
+		relevant: func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
+		clear:    func(o *sim.Options) { o.Prefetch = false },
+		keyToken: func(o *sim.Options) string { return "pf=" + strconv.FormatBool(o.Prefetch) },
+		label: func(c *Config) (string, bool) {
+			if !c.Opt.Prefetch {
+				return "", false
+			}
+			return "+pf", true
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.Prefetch = c.Opt.Prefetch },
+	},
+	{
+		Name:   "ideal-cache",
+		Doc:    "never-miss cache bound (Figure 7.11)",
+		Domain: "bool",
+		Flag:   FlagSpec{Name: "ideal-cache", Kind: FlagBool, Usage: "model the never-miss I-cache bound (Figure 7.11)"},
+		normalize: func(s *SweepSpec) {
+			if len(s.IdealCache) == 0 {
+				s.IdealCache = []bool{false}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxBools(s.IdealCache) },
+		set:        func(o *sim.Options, v any) { o.IdealCache = v.(bool) },
+		relevant:   func(c *Config) bool { return c.Arch.HasCache() },
+		clear:      func(o *sim.Options) { o.IdealCache = false },
+		keyToken:   func(o *sim.Options) string { return "ideal=" + strconv.FormatBool(o.IdealCache) },
+		label: func(c *Config) (string, bool) {
+			if !c.Opt.IdealCache {
+				return "", false
+			}
+			return "+ideal", true
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.IdealCache = c.Opt.IdealCache },
+	},
+	{
+		Name:   "double-buffer",
+		Doc:    "Monte DMA/compute overlap (Section 7.7)",
+		Domain: "bool",
+		Flag:   FlagSpec{Name: "no-double-buffer", Kind: FlagBool, Invert: true, Usage: "disable Monte double buffering"},
+		normalize: func(s *SweepSpec) {
+			if len(s.DoubleBuffer) == 0 {
+				s.DoubleBuffer = []bool{true}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxBools(s.DoubleBuffer) },
+		set:        func(o *sim.Options, v any) { o.DoubleBuffer = v.(bool) },
+		relevant:   func(c *Config) bool { return c.Arch.HasMonte() },
+		clear:      func(o *sim.Options) { o.DoubleBuffer = false },
+		keyToken:   func(o *sim.Options) string { return "db=" + strconv.FormatBool(o.DoubleBuffer) },
+		label: func(c *Config) (string, bool) {
+			if !c.Arch.HasMonte() || c.Opt.DoubleBuffer {
+				return "", false
+			}
+			return "no-db", false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.DoubleBuffer = c.Opt.DoubleBuffer },
+	},
+	{
+		Name:   "width",
+		Doc:    "Monte FFAU datapath width (Table 7.3)",
+		Domain: "8/16/32/64 bits",
+		Flag:   FlagSpec{Name: "width", Kind: FlagInt, DefInt: sim.DefaultMonteWidth, Usage: "Monte FFAU datapath width in bits (8/16/32/64)"},
+		normalize: func(s *SweepSpec) {
+			if len(s.MonteWidths) == 0 {
+				s.MonteWidths = []int{sim.DefaultMonteWidth}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxInts(s.MonteWidths) },
+		check:      func(v any) error { return sim.CheckMonteWidth(v.(int)) },
+		set:        func(o *sim.Options, v any) { o.MonteWidth = v.(int) },
+		canon: func(o *sim.Options) {
+			if o.MonteWidth == 0 {
+				o.MonteWidth = sim.DefaultMonteWidth
+			}
+		},
+		relevant: func(c *Config) bool { return c.Arch.HasMonte() },
+		clear:    func(o *sim.Options) { o.MonteWidth = 0 },
+		keyToken: func(o *sim.Options) string { return "w=" + strconv.Itoa(o.MonteWidth) },
+		label: func(c *Config) (string, bool) {
+			if c.Opt.MonteWidth == 0 || c.Opt.MonteWidth == sim.DefaultMonteWidth {
+				return "", false
+			}
+			return fmt.Sprintf("w=%d", c.Opt.MonteWidth), false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.MonteWidth = c.Opt.MonteWidth },
+	},
+	{
+		Name:   "digit",
+		Doc:    "Billie digit-serial multiplier width",
+		Domain: fmt.Sprintf("%d..%d", sim.MinBillieDigit, sim.MaxBillieDigit),
+		Flag:   FlagSpec{Name: "digit", Kind: FlagInt, DefInt: 3, Usage: "Billie multiplier digit size"},
+		normalize: func(s *SweepSpec) {
+			if len(s.BillieDigits) == 0 {
+				s.BillieDigits = []int{3}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxInts(s.BillieDigits) },
+		check:      func(v any) error { return sim.CheckBillieDigit(v.(int)) },
+		set:        func(o *sim.Options, v any) { o.BillieDigit = v.(int) },
+		canon: func(o *sim.Options) {
+			if o.BillieDigit == 0 {
+				o.BillieDigit = 3
+			}
+		},
+		relevant: func(c *Config) bool { return c.Arch == sim.WithBillie },
+		clear:    func(o *sim.Options) { o.BillieDigit = 0 },
+		keyToken: func(o *sim.Options) string { return "digit=" + strconv.Itoa(o.BillieDigit) },
+		label: func(c *Config) (string, bool) {
+			if c.Opt.BillieDigit == 0 {
+				return "", false
+			}
+			return fmt.Sprintf("D=%d", c.Opt.BillieDigit), false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.BillieDigit = c.Opt.BillieDigit },
+	},
+	{
+		Name:   "gate",
+		Doc:    "clock/power-gate an idle accelerator (Chapter 8 what-if)",
+		Domain: "bool",
+		Flag:   FlagSpec{Name: "gate-accel-idle", Kind: FlagBool, Usage: "clock/power-gate the accelerator while idle (Chapter 8 what-if)"},
+		normalize: func(s *SweepSpec) {
+			if len(s.GateAccelIdle) == 0 {
+				s.GateAccelIdle = []bool{false}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxBools(s.GateAccelIdle) },
+		set:        func(o *sim.Options, v any) { o.GateAccelIdle = v.(bool) },
+		relevant: func(c *Config) bool {
+			return c.Arch.HasMonte() || c.Arch == sim.WithBillie
+		},
+		clear:    func(o *sim.Options) { o.GateAccelIdle = false },
+		keyToken: func(o *sim.Options) string { return "gate=" + strconv.FormatBool(o.GateAccelIdle) },
+		label: func(c *Config) (string, bool) {
+			if !c.Opt.GateAccelIdle {
+				return "", false
+			}
+			return "gated", false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.GateAccelIdle = c.Opt.GateAccelIdle },
+	},
+	{
+		Name:   "line",
+		Doc:    "I-cache line size (the paper fixes 16 B; Section 5.3)",
+		Domain: fmt.Sprintf("power of two, %d..%d bytes", sim.MinCacheLineBytes, sim.MaxCacheLineBytes),
+		Flag:   FlagSpec{Name: "line", Kind: FlagInt, DefInt: sim.DefaultCacheLineBytes, Usage: "I-cache line size in bytes (power of two; 16 is the Section 5.3 hardware)"},
+		normalize: func(s *SweepSpec) {
+			if len(s.CacheLineBytes) == 0 {
+				s.CacheLineBytes = []int{sim.DefaultCacheLineBytes}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxInts(s.CacheLineBytes) },
+		check:      func(v any) error { return sim.CheckCacheLineBytes(v.(int)) },
+		set:        func(o *sim.Options, v any) { o.CacheLineBytes = v.(int) },
+		// The default line canonicalizes to the *elided* zero value —
+		// the reverse of the cache-capacity fill — so every key, hash,
+		// JSON document and disk-store byte that predates the axis is
+		// reproduced exactly.
+		canon: func(o *sim.Options) {
+			if o.CacheLineBytes == sim.DefaultCacheLineBytes {
+				o.CacheLineBytes = 0
+			}
+		},
+		relevant: func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
+		clear:    func(o *sim.Options) { o.CacheLineBytes = 0 },
+		keyToken: func(o *sim.Options) string {
+			if o.CacheLineBytes == 0 {
+				return ""
+			}
+			return "line=" + strconv.Itoa(o.CacheLineBytes)
+		},
+		label: func(c *Config) (string, bool) {
+			if c.Opt.CacheLineBytes == 0 {
+				return "", false
+			}
+			return fmt.Sprintf("line=%d", c.Opt.CacheLineBytes), false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.CacheLineBytes = c.Opt.CacheLineBytes },
+	},
+	{
+		Name:   "workload",
+		Doc:    "priced scenario (sim workload name)",
+		Domain: strings.Join(sim.Workloads(), ", "),
+		Flag: FlagSpec{Name: "workload", Kind: FlagString, Usage: "priced scenario(s): " + strings.Join(sim.Workloads(), ", ") +
+			" (default sign-verify; with -sweep a comma-separated list sets the workload axis" +
+			" to exactly those scenarios, replacing the default — include sign-verify to keep it)"},
+		normalize: func(s *SweepSpec) {
+			if len(s.Workloads) == 0 {
+				s.Workloads = []string{""}
+			}
+		},
+		specValues: func(s *SweepSpec) []any { return boxStrings(s.Workloads) },
+		check:      func(v any) error { return sim.CheckWorkload(v.(string)) },
+		set:        func(o *sim.Options, v any) { o.Workload = v.(string) },
+		// The default workload elides to "", so configs predating the
+		// workload axis keep their keys and hashes.
+		canon: func(o *sim.Options) {
+			if o.Workload == sim.WorkloadSignVerify {
+				o.Workload = ""
+			}
+		},
+		keyToken: func(o *sim.Options) string {
+			if o.Workload == "" {
+				return ""
+			}
+			return "wl=" + o.Workload
+		},
+		label: func(c *Config) (string, bool) {
+			if c.Opt.Workload == "" {
+				return "", false
+			}
+			return "wl=" + c.Opt.Workload, false
+		},
+		toJSON: func(c *Config, j *PointJSON) { j.Workload = c.Opt.Workload },
+	},
+}
+
+// Axes returns the registered design-space option axes in canonical
+// order.
+func Axes() []*Axis { return axes }
+
+// RegisterAxisFlags registers one CLI flag per design-space axis on fs
+// (call before fs.Parse) and returns an apply function that copies the
+// parsed values into an Options. Flag names, defaults and usage strings
+// all come from the registry, so a new axis surfaces on the CLI without
+// touching cmd/dse.
+func RegisterAxisFlags(fs *flag.FlagSet) func(o *sim.Options) {
+	type bound struct {
+		ax *Axis
+		i  *int
+		b  *bool
+		s  *string
+	}
+	bounds := make([]bound, 0, len(axes))
+	for _, ax := range axes {
+		f := ax.Flag
+		bd := bound{ax: ax}
+		switch f.Kind {
+		case FlagInt:
+			bd.i = fs.Int(f.Name, f.DefInt, f.Usage)
+		case FlagBool:
+			bd.b = fs.Bool(f.Name, f.DefBool, f.Usage)
+		case FlagString:
+			bd.s = fs.String(f.Name, f.DefString, f.Usage)
+		}
+		bounds = append(bounds, bd)
+	}
+	return func(o *sim.Options) {
+		for _, bd := range bounds {
+			switch {
+			case bd.i != nil:
+				bd.ax.set(o, *bd.i)
+			case bd.b != nil:
+				v := *bd.b
+				if bd.ax.Flag.Invert {
+					v = !v
+				}
+				bd.ax.set(o, v)
+			case bd.s != nil:
+				bd.ax.set(o, *bd.s)
+			}
+		}
+	}
+}
+
+// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates,
+// in registry order — for CLIs that need to tell axis flags apart from
+// their own (e.g. to reject an axis flag in a mode that ignores it).
+func AxisFlagNames() []string {
+	out := make([]string, len(axes))
+	for i, ax := range axes {
+		out[i] = ax.Flag.Name
+	}
+	return out
+}
+
+// AxesHelp renders the axis registry as help text: one line per knob
+// with its CLI flag, description and value domain.
+func AxesHelp() string {
+	var b strings.Builder
+	for _, ax := range axes {
+		fmt.Fprintf(&b, "  -%-17s %s [%s]\n", ax.Flag.Name, ax.Doc, ax.Domain)
+	}
+	return b.String()
+}

@@ -56,6 +56,13 @@ type diskHeader struct {
 // families): any model or
 // calibration change that alters results anywhere changes the
 // fingerprint and invalidates on-disk caches. Computed once per process.
+//
+// The probe set is load-bearing: adding a probe changes the fingerprint
+// and discards every existing store, so new axes must NOT add probes
+// when their default reproduces pre-axis results bit-for-bit (the
+// line-size axis rides the cache probes this way). A change to a
+// non-default-only model path (e.g. recalibrating lineMissScale) is
+// invisible to these probes and needs a diskFormatVersion bump instead.
 var modelFingerprint = sync.OnceValue(func() string {
 	probes := []struct {
 		arch  sim.Arch

@@ -27,12 +27,18 @@
 // /ShardCount restrict a run to one shard flushing its own store, and
 // MergeStores + AssembleFromStore combine the shard stores and rebuild
 // the full result with zero re-simulation.
+//
+// Every option axis is declared once in the axis registry (axes.go):
+// canonicalization, key rendering, sweep expansion, validation, labels,
+// JSON and the CLI flag set are all registry-driven, so adding a knob is
+// one registry entry plus its sim.Options/SweepSpec/PointJSON fields.
+// The FullSweep manifest golden (testdata/fullsweep.keys.golden) pins
+// every canonical key and hash of the full grid.
 package dse
 
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"fmt"
 	"strings"
 
 	"repro/internal/ec"
@@ -50,60 +56,49 @@ type Config struct {
 // Canonical returns the config with irrelevant knobs forced to their
 // zero/default values so that physically identical configurations compare
 // and hash equal: cache geometry only matters on cached architectures
-// (and the prefetcher only on a non-ideal cache), double buffering and
-// the datapath width only on Monte, and the digit size only on Billie.
-// The default workload canonicalizes to the empty string, so configs
-// predating the workload axis keep their keys and hashes.
+// (and the prefetcher and line size only on a non-ideal cache), double
+// buffering and the datapath width only on Monte, and the digit size
+// only on Billie. Defaulting and relevance both come from the axis
+// registry: every axis first normalizes its value (zero → default, or
+// default → elided zero for the workload and line axes, which keeps
+// pre-axis keys and hashes byte-identical), then every axis irrelevant
+// to the architecture is cleared.
 func (c Config) Canonical() Config {
 	out := c
-	if out.Opt.CacheBytes == 0 {
-		out.Opt.CacheBytes = 4096
+	for _, ax := range axes {
+		if ax.canon != nil {
+			ax.canon(&out.Opt)
+		}
 	}
-	if out.Opt.Workload == sim.WorkloadSignVerify {
-		out.Opt.Workload = ""
-	}
-	if out.Opt.BillieDigit == 0 {
-		out.Opt.BillieDigit = 3
-	}
-	if out.Opt.MonteWidth == 0 {
-		out.Opt.MonteWidth = sim.DefaultMonteWidth
-	}
-	if !out.Arch.HasCache() {
-		out.Opt.CacheBytes = 0
-		out.Opt.Prefetch = false
-		out.Opt.IdealCache = false
-	}
-	if out.Opt.IdealCache {
-		// A never-miss cache has no misses to prefetch for.
-		out.Opt.Prefetch = false
-	}
-	if !out.Arch.HasMonte() {
-		out.Opt.DoubleBuffer = false
-		out.Opt.MonteWidth = 0
-	}
-	if out.Arch != sim.WithBillie {
-		out.Opt.BillieDigit = 0
-	}
-	if !out.Arch.HasMonte() && out.Arch != sim.WithBillie {
-		out.Opt.GateAccelIdle = false
+	for _, ax := range axes {
+		if ax.relevant != nil && !ax.relevant(&out) {
+			ax.clear(&out.Opt)
+		}
 	}
 	return out
 }
 
 // Key renders the canonical configuration as a stable, human-readable
-// string. Two configs with equal keys produce identical simulation
-// results. The workload token is appended only for non-default
-// workloads, so default Sign+Verify keys (and their hashes) are
-// byte-identical to those computed before the workload axis existed.
+// string: the arch and curve followed by one token per registered axis
+// in registry order. Two configs with equal keys produce identical
+// simulation results. An axis may elide its token at the default value
+// (the workload and line axes do), which is how keys and hashes
+// computed before that axis existed stay byte-identical.
 func (c Config) Key() string {
 	cc := c.Canonical()
-	key := fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t w=%d digit=%d gate=%t",
-		cc.Arch, cc.Curve, cc.Opt.CacheBytes, cc.Opt.Prefetch, cc.Opt.IdealCache,
-		cc.Opt.DoubleBuffer, cc.Opt.MonteWidth, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
-	if cc.Opt.Workload != "" {
-		key += " wl=" + cc.Opt.Workload
+	var b strings.Builder
+	b.Grow(112)
+	b.WriteString("arch=")
+	b.WriteString(cc.Arch.String())
+	b.WriteString(" curve=")
+	b.WriteString(cc.Curve)
+	for _, ax := range axes {
+		if tok := ax.keyToken(&cc.Opt); tok != "" {
+			b.WriteByte(' ')
+			b.WriteString(tok)
+		}
 	}
-	return key
+	return b.String()
 }
 
 // Hash returns the canonical config hash (hex SHA-256 of Key) used as the
@@ -115,35 +110,26 @@ func (c Config) Hash() string {
 
 // OptionsLabel renders only the options that matter for the config's
 // architecture ("4KB+pf no-db D=3" style), or "" when every knob is at
-// its only meaningful value. Shared by every human-readable rendering so
-// new options need only one label site.
+// its only meaningful value. Each registered axis contributes at most
+// one fragment (attached fragments join the previous one, giving
+// "4KB+pf+ideal"), so a new axis needs no label site beyond its
+// registry entry.
 func (c Config) OptionsLabel() string {
 	cc := c.Canonical()
 	var parts []string
-	if cc.Arch.HasCache() {
-		s := fmt.Sprintf("%dKB", cc.Opt.CacheBytes/1024)
-		if cc.Opt.Prefetch {
-			s += "+pf"
+	for _, ax := range axes {
+		if ax.label == nil {
+			continue
 		}
-		if cc.Opt.IdealCache {
-			s += "+ideal"
+		frag, attach := ax.label(&cc)
+		if frag == "" {
+			continue
 		}
-		parts = append(parts, s)
-	}
-	if cc.Arch.HasMonte() && !cc.Opt.DoubleBuffer {
-		parts = append(parts, "no-db")
-	}
-	if cc.Opt.MonteWidth != 0 && cc.Opt.MonteWidth != sim.DefaultMonteWidth {
-		parts = append(parts, fmt.Sprintf("w=%d", cc.Opt.MonteWidth))
-	}
-	if cc.Opt.BillieDigit != 0 {
-		parts = append(parts, fmt.Sprintf("D=%d", cc.Opt.BillieDigit))
-	}
-	if cc.Opt.GateAccelIdle {
-		parts = append(parts, "gated")
-	}
-	if cc.Opt.Workload != "" {
-		parts = append(parts, "wl="+cc.Opt.Workload)
+		if attach && len(parts) > 0 {
+			parts[len(parts)-1] += frag
+		} else {
+			parts = append(parts, frag)
+		}
 	}
 	return strings.Join(parts, " ")
 }

@@ -1,6 +1,7 @@
 package dse
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/sim"
@@ -85,5 +86,29 @@ func FuzzConfigHash(f *testing.F) {
 		if cfg1.Canonical().Key() != key1 || cfg1.Canonical().Hash() != h1 {
 			t.Errorf("key/hash differ after canonicalization for %s", key1)
 		}
+
+		// The registry-driven Key must reproduce the PR-4-era
+		// hand-written rendering byte for byte: these strings are what
+		// every existing config hash — and therefore every disk store
+		// and shard assignment — was computed from. The corpus predates
+		// the line axis, so fuzzConfig never sets it and the legacy
+		// format needs no line token.
+		if legacy := legacyKey(cfg1); key1 != legacy {
+			t.Errorf("registry key diverges from legacy rendering:\n  registry: %s\n  legacy:   %s",
+				key1, legacy)
+		}
 	})
+}
+
+// legacyKey is the hand-written Key rendering as it existed before the
+// axis registry (PR 4), kept verbatim as the fuzz oracle.
+func legacyKey(c Config) string {
+	cc := c.Canonical()
+	key := fmt.Sprintf("arch=%s curve=%s cache=%d pf=%t ideal=%t db=%t w=%d digit=%d gate=%t",
+		cc.Arch, cc.Curve, cc.Opt.CacheBytes, cc.Opt.Prefetch, cc.Opt.IdealCache,
+		cc.Opt.DoubleBuffer, cc.Opt.MonteWidth, cc.Opt.BillieDigit, cc.Opt.GateAccelIdle)
+	if cc.Opt.Workload != "" {
+		key += " wl=" + cc.Opt.Workload
+	}
+	return key
 }

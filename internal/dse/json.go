@@ -18,6 +18,10 @@ type PointJSON struct {
 	MonteWidth    int    `json:"monteWidth,omitempty"`
 	BillieDigit   int    `json:"billieDigit,omitempty"`
 	GateAccelIdle bool   `json:"gateAccelIdle,omitempty"`
+	// CacheLineBytes is omitted for the default 16-byte line (the
+	// canonical config holds 0 there), keeping pre-line-axis output
+	// byte-identical.
+	CacheLineBytes int `json:"cacheLineBytes,omitempty"`
 	// Workload is omitted for the default Sign+Verify scenario, keeping
 	// pre-workload-axis output byte-identical.
 	Workload     string `json:"workload,omitempty"`
@@ -78,32 +82,28 @@ type LevelFrontierJSON struct {
 // non-default workloads: the default Sign+Verify phase split is already
 // carried by signCycles/verifyCycles, and omitting it keeps the wire
 // form of pre-workload-axis sweeps unchanged. Every option field is
-// rendered from the canonical config, so a caller-built non-canonical
-// point (e.g. CacheBytes left 0 on a cached arch) emits the same option
-// values its own hash was computed under.
+// rendered from the canonical config by the axis registry, so a
+// caller-built non-canonical point (e.g. CacheBytes left 0 on a cached
+// arch) emits the same option values its own hash was computed under,
+// and a new axis needs no rendering site beyond its registry entry.
 func (p Point) ToJSON() PointJSON {
 	cc := p.Config.Canonical()
 	out := PointJSON{
-		Arch:          cc.Arch.String(),
-		Curve:         cc.Curve,
-		CacheBytes:    cc.Opt.CacheBytes,
-		Prefetch:      cc.Opt.Prefetch,
-		IdealCache:    cc.Opt.IdealCache,
-		DoubleBuffer:  cc.Opt.DoubleBuffer,
-		MonteWidth:    cc.Opt.MonteWidth,
-		BillieDigit:   cc.Opt.BillieDigit,
-		GateAccelIdle: cc.Opt.GateAccelIdle,
-		Workload:      cc.Opt.Workload,
-		Hash:          cc.Hash(),
-		SecLevel:      p.SecLevel,
-		SecurityBits:  p.SecurityBits,
-		SignCycles:    p.Result.SignCycles(),
-		VerifyCycles:  p.Result.VerifyCycles(),
-		TotalCycles:   p.Result.TotalCycles(),
-		EnergyJ:       p.EnergyJ,
-		TimeS:         p.TimeS,
-		EDP:           p.EDP,
-		PowerW:        p.Result.Power.Total(),
+		Arch:         cc.Arch.String(),
+		Curve:        cc.Curve,
+		Hash:         cc.Hash(),
+		SecLevel:     p.SecLevel,
+		SecurityBits: p.SecurityBits,
+		SignCycles:   p.Result.SignCycles(),
+		VerifyCycles: p.Result.VerifyCycles(),
+		TotalCycles:  p.Result.TotalCycles(),
+		EnergyJ:      p.EnergyJ,
+		TimeS:        p.TimeS,
+		EDP:          p.EDP,
+		PowerW:       p.Result.Power.Total(),
+	}
+	for _, ax := range axes {
+		ax.toJSON(&cc, &out)
 	}
 	if out.Workload != "" {
 		for _, ph := range p.Result.Phases {

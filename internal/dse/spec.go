@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/ec"
-	"repro/internal/energy"
 	"repro/internal/sim"
 )
 
@@ -14,6 +13,11 @@ import (
 // pruned, and points that canonicalize to the same physical configuration
 // (e.g. cache-size variants of an uncached core) are deduplicated, first
 // occurrence winning.
+//
+// The typed fields are the public surface; everything behind them —
+// defaults, domains, expansion order, canonicalization — is driven by
+// the axis registry in axes.go. A new axis is one slice field here plus
+// one registry entry.
 type SweepSpec struct {
 	Archs  []sim.Arch
 	Curves []string
@@ -32,6 +36,12 @@ type SweepSpec struct {
 	// {false}.
 	GateAccelIdle []bool
 
+	// CacheLineBytes sweeps the I-cache line size — a knob the paper
+	// fixes at 16 bytes (Section 5.3); nil means {16}, which
+	// canonicalizes to an elided key token so every pre-axis hash is
+	// unchanged.
+	CacheLineBytes []int
+
 	// Workloads sweeps the priced scenario (sim.Workloads() names); nil
 	// means the default Sign+Verify workload only, which keeps every
 	// canonical hash identical to a spec without the axis.
@@ -40,7 +50,7 @@ type SweepSpec struct {
 
 // DefaultSweep is the paper's headline grid: every architecture × every
 // curve at the default knob settings (4 KB cache, no prefetch, double
-// buffering on, digit size 3, datapath width 32).
+// buffering on, digit size 3, datapath width 32, 16-byte lines).
 func DefaultSweep() SweepSpec {
 	return SweepSpec{
 		Archs:  AllArchs(),
@@ -49,22 +59,24 @@ func DefaultSweep() SweepSpec {
 }
 
 // FullSweep is the full design-space grid: 10 curves × 5 architectures
-// with cache (1–16 KB, prefetcher on/off, ideal-cache bound), Monte
-// double-buffering and datapath width (8–64 bit), Billie digit size
-// (1–8), and accelerator idle gating — the complete study behind the
-// paper's evaluation chapter, including the Table 7.3 width axis and the
-// Figure 7.11 / Chapter 8 what-if knobs, in one specification.
+// with cache (1–16 KB, prefetcher on/off, ideal-cache bound, 16–64 B
+// lines), Monte double-buffering and datapath width (8–64 bit), Billie
+// digit size (1–8), and accelerator idle gating — the complete study
+// behind the paper's evaluation chapter, including the Table 7.3 width
+// axis, the Figure 7.11 / Chapter 8 what-if knobs, and the line-size
+// axis the paper only fixes, in one specification.
 func FullSweep() SweepSpec {
 	return SweepSpec{
-		Archs:         AllArchs(),
-		Curves:        AllCurves(),
-		CacheBytes:    []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
-		Prefetch:      []bool{false, true},
-		IdealCache:    []bool{false, true},
-		DoubleBuffer:  []bool{true, false},
-		MonteWidths:   []int{8, 16, 32, 64},
-		BillieDigits:  []int{1, 2, 3, 4, 5, 6, 7, 8},
-		GateAccelIdle: []bool{false, true},
+		Archs:          AllArchs(),
+		Curves:         AllCurves(),
+		CacheBytes:     []int{1 << 10, 2 << 10, 4 << 10, 8 << 10, 16 << 10},
+		Prefetch:       []bool{false, true},
+		IdealCache:     []bool{false, true},
+		DoubleBuffer:   []bool{true, false},
+		MonteWidths:    []int{8, 16, 32, 64},
+		BillieDigits:   []int{1, 2, 3, 4, 5, 6, 7, 8},
+		GateAccelIdle:  []bool{false, true},
+		CacheLineBytes: []int{16, 32, 64},
 	}
 }
 
@@ -79,7 +91,8 @@ func AllCurves() []string {
 	return append(out, ec.BinaryCurveNames...)
 }
 
-// normalized returns the spec with nil axes replaced by their defaults.
+// normalized returns the spec with nil axes replaced by their defaults,
+// as declared in the axis registry.
 func (s SweepSpec) normalized() SweepSpec {
 	if len(s.Archs) == 0 {
 		s.Archs = AllArchs()
@@ -87,63 +100,31 @@ func (s SweepSpec) normalized() SweepSpec {
 	if len(s.Curves) == 0 {
 		s.Curves = AllCurves()
 	}
-	if len(s.CacheBytes) == 0 {
-		s.CacheBytes = []int{4096}
-	}
-	if len(s.Prefetch) == 0 {
-		s.Prefetch = []bool{false}
-	}
-	if len(s.IdealCache) == 0 {
-		s.IdealCache = []bool{false}
-	}
-	if len(s.DoubleBuffer) == 0 {
-		s.DoubleBuffer = []bool{true}
-	}
-	if len(s.MonteWidths) == 0 {
-		s.MonteWidths = []int{sim.DefaultMonteWidth}
-	}
-	if len(s.BillieDigits) == 0 {
-		s.BillieDigits = []int{3}
-	}
-	if len(s.GateAccelIdle) == 0 {
-		s.GateAccelIdle = []bool{false}
-	}
-	if len(s.Workloads) == 0 {
-		s.Workloads = []string{""}
+	for _, ax := range axes {
+		ax.normalize(&s)
 	}
 	return s
 }
 
 // Validate rejects specs with out-of-model axis values before any
-// simulation runs.
+// simulation runs. Each axis value is checked against the same domain
+// sim.Run validates with, so a value is rejected identically whether it
+// arrives through a sweep spec, a single simulation, or a CLI flag.
 func (s SweepSpec) Validate() error {
 	n := s.normalized()
 	for _, c := range n.Curves {
 		if !ec.KnownCurve(c) {
-			return fmt.Errorf("dse: unknown curve %q", c)
+			return fmt.Errorf("dse: unknown curve %q (want one of %v)", c, AllCurves())
 		}
 	}
-	for _, b := range n.CacheBytes {
-		if b < sim.MinCacheBytes || b > sim.MaxCacheBytes {
-			return fmt.Errorf("dse: cache size %d out of modeled range [%d, %d]",
-				b, sim.MinCacheBytes, sim.MaxCacheBytes)
+	for _, ax := range axes {
+		if ax.check == nil {
+			continue
 		}
-	}
-	for _, d := range n.BillieDigits {
-		if d < sim.MinBillieDigit || d > sim.MaxBillieDigit {
-			return fmt.Errorf("dse: Billie digit size %d out of modeled range [%d, %d]",
-				d, sim.MinBillieDigit, sim.MaxBillieDigit)
-		}
-	}
-	for _, w := range n.MonteWidths {
-		if !sim.KnownMonteWidth(w) {
-			return fmt.Errorf("dse: Monte datapath width %d not a synthesized configuration (want one of %v)",
-				w, energy.MonteWidths)
-		}
-	}
-	for _, wl := range n.Workloads {
-		if !sim.KnownWorkload(wl) {
-			return fmt.Errorf("dse: unknown workload %q (want one of %v)", wl, sim.Workloads())
+		for _, v := range ax.specValues(&n) {
+			if err := ax.check(v); err != nil {
+				return fmt.Errorf("dse: %w", err)
+			}
 		}
 	}
 	return nil
@@ -155,43 +136,23 @@ func (s SweepSpec) Validate() error {
 func (s SweepSpec) RawPoints() int {
 	n := s.normalized()
 	total := len(n.Archs) * len(n.Curves)
-	for _, ax := range n.optionAxes() {
-		total *= ax.n
+	for _, ax := range axes {
+		total *= len(ax.specValues(&n))
 	}
 	return total
 }
 
-// optionAxes returns the sweepable option dimensions of a normalized
-// spec in specification order (cache-major, workload-minor): each axis is
-// its cardinality plus a setter applying the i-th value. Adding a sweep
-// axis means adding one entry here (plus its SweepSpec field, default
-// and validation) — Expand and RawPoints pick it up unchanged.
-func (n SweepSpec) optionAxes() []struct {
-	n   int
-	set func(o *sim.Options, i int)
-} {
-	return []struct {
-		n   int
-		set func(o *sim.Options, i int)
-	}{
-		{len(n.CacheBytes), func(o *sim.Options, i int) { o.CacheBytes = n.CacheBytes[i] }},
-		{len(n.Prefetch), func(o *sim.Options, i int) { o.Prefetch = n.Prefetch[i] }},
-		{len(n.IdealCache), func(o *sim.Options, i int) { o.IdealCache = n.IdealCache[i] }},
-		{len(n.DoubleBuffer), func(o *sim.Options, i int) { o.DoubleBuffer = n.DoubleBuffer[i] }},
-		{len(n.MonteWidths), func(o *sim.Options, i int) { o.MonteWidth = n.MonteWidths[i] }},
-		{len(n.BillieDigits), func(o *sim.Options, i int) { o.BillieDigit = n.BillieDigits[i] }},
-		{len(n.GateAccelIdle), func(o *sim.Options, i int) { o.GateAccelIdle = n.GateAccelIdle[i] }},
-		{len(n.Workloads), func(o *sim.Options, i int) { o.Workload = n.Workloads[i] }},
-	}
-}
-
 // Expand enumerates the cross-product in deterministic specification
-// order (arch-major, then curve, then the option axes with the last —
-// the workload — varying fastest), pruning invalid architecture/curve
-// pairs and deduplicating canonically identical configurations.
+// order (arch-major, then curve, then the registered option axes in
+// registry order with the last — the workload — varying fastest),
+// pruning invalid architecture/curve pairs and deduplicating canonically
+// identical configurations.
 func (s SweepSpec) Expand() []Config {
 	n := s.normalized()
-	axes := n.optionAxes()
+	vals := make([][]any, len(axes))
+	for i, ax := range axes {
+		vals[i] = ax.specValues(&n)
+	}
 	seen := make(map[string]bool)
 	var out []Config
 	idx := make([]int, len(axes))
@@ -203,7 +164,7 @@ func (s SweepSpec) Expand() []Config {
 			for {
 				var opt sim.Options
 				for i, ax := range axes {
-					ax.set(&opt, idx[i])
+					ax.set(&opt, vals[i][idx[i]])
 				}
 				cfg := Config{Arch: a, Curve: c, Opt: opt}
 				if cfg.Valid() {
@@ -217,7 +178,7 @@ func (s SweepSpec) Expand() []Config {
 				k := len(axes) - 1
 				for k >= 0 {
 					idx[k]++
-					if idx[k] < axes[k].n {
+					if idx[k] < len(vals[k]) {
 						break
 					}
 					idx[k] = 0

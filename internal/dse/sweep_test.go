@@ -207,16 +207,16 @@ func TestFullSweepShape(t *testing.T) {
 		t.Skip("full sweep is slow")
 	}
 	spec := FullSweep()
-	if raw := spec.RawPoints(); raw != 128000 {
-		t.Errorf("FullSweep raw cross-product = %d, want 128000 (5x10x5x2x2x2x4x8x2)", raw)
+	if raw := spec.RawPoints(); raw != 384000 {
+		t.Errorf("FullSweep raw cross-product = %d, want 384000 (5x10x5x2x2x2x4x8x2x3)", raw)
 	}
 	cfgs := spec.Expand()
 	// Unique physical configs: baseline 10 + isa-ext 10 +
-	// isa-ext+icache 10x5 cache x(2 prefetch + 1 ideal) +
+	// isa-ext+icache 10x5 cache x(2 prefetch x 3 lines + 1 ideal) +
 	// monte 5x(2 db x 4 widths x 2 gate) + billie 5x(8 digits x 2 gate)
-	// = 10 + 10 + 150 + 80 + 80 = 330.
-	if len(cfgs) != 330 {
-		t.Errorf("FullSweep unique configs = %d, want 330", len(cfgs))
+	// = 10 + 10 + 350 + 80 + 80 = 530.
+	if len(cfgs) != 530 {
+		t.Errorf("FullSweep unique configs = %d, want 530", len(cfgs))
 	}
 	res, err := Sweep(spec, SweepOptions{Workers: 4, Cache: NewCache()})
 	if err != nil {

@@ -81,6 +81,14 @@ type Options struct {
 	// paper's stated future work ("we plan on modeling our system such
 	// that we can turn off Billie when she is not in use", Chapter 8).
 	GateAccelIdle bool
+	// CacheLineBytes is the I-cache line size in bytes; 0 means the
+	// paper's 16-byte line (Section 5.3: four 32-bit words, one 128-bit
+	// ROM port beat). Longer lines exploit the sequential fetch stream
+	// (fewer misses) but pay more ROM beats per fill; the paper only
+	// fixes this knob, so it is an axis the paper never swept. The
+	// default is recorded as 0 — not filled in — so results and stores
+	// predating the axis keep their exact bytes (hence omitempty).
+	CacheLineBytes int `json:",omitempty"`
 	// Workload selects the priced scenario: WorkloadSignVerify (the
 	// paper's Sign+Verify evaluation, the default when empty),
 	// WorkloadKeyGen, WorkloadECDH, or WorkloadHandshake (see
@@ -105,6 +113,13 @@ const (
 	MinMonteWidth     = 8
 	MaxMonteWidth     = 64
 	DefaultMonteWidth = 32
+
+	// Cache line sizes: the Section 5.3 hardware uses 16-byte lines (one
+	// 128-bit ROM beat); the miss-ratio and fill-cost scaling is modeled
+	// for power-of-two lines in this range.
+	MinCacheLineBytes     = 8
+	MaxCacheLineBytes     = 128
+	DefaultCacheLineBytes = 16
 )
 
 // KnownMonteWidth reports whether w is a synthesized FFAU datapath width

@@ -1,5 +1,7 @@
 package sim
 
+import "math"
+
 // Calibration constants. Every number here models software structure the
 // kernel measurements cannot see (the paper's C++ runtime: virtual calls,
 // argument marshalling, point-coordinate copies, loop glue) or scales a
@@ -126,6 +128,27 @@ func cacheMissRate(sizeBytes int) float64 {
 		return baseMissRate1KB * (1 - 0.337) * (1 - 0.652) * (1 - 0.183)
 	}
 }
+
+// Line-size behavior model. The Section 7.5 miss ratios above are
+// measured with the Section 5.3 16-byte line; other line sizes scale
+// them. Instruction fetch is mostly sequential, so misses fall nearly
+// inversely with line length, damped by the conflict-miss share that
+// longer lines do not help (and make slightly worse through fewer sets).
+const lineMissExponent = 0.85
+
+// lineMissScale scales the miss ratio from the default 16-byte line to
+// lineBytes (exactly 1 at the default, so pre-axis results are
+// bit-identical).
+func lineMissScale(lineBytes int) float64 {
+	if lineBytes == DefaultCacheLineBytes {
+		return 1
+	}
+	return math.Pow(float64(DefaultCacheLineBytes)/float64(lineBytes), lineMissExponent)
+}
+
+// The ROM beats per fill and the per-miss stall come straight from the
+// hardware model (cache.BeatsPerFill, cache.MissPenaltyFor), so the
+// analytic pricing here and the exact ICache never drift apart.
 
 // prefetchCoverage is the fraction of misses the stream buffer converts to
 // hits; sequential fetch makes it high for small caches and lower once

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/cache"
 	"repro/internal/ec"
 	"repro/internal/energy"
 	"repro/internal/gf2"
@@ -202,24 +203,18 @@ func Run(arch Arch, curveName string, opt Options) (Result, error) {
 	if opt.MonteWidth == 0 {
 		opt.MonteWidth = DefaultMonteWidth
 	}
+	// The line axis normalizes the other way: the default is recorded as
+	// 0, not filled in, so Result.Opt — and every disk-store entry built
+	// from it — keeps the exact bytes of results that predate the axis.
+	if opt.CacheLineBytes == DefaultCacheLineBytes {
+		opt.CacheLineBytes = 0
+	}
 	opt.Workload = CanonicalWorkload(opt.Workload)
-	wl, ok := workloadByName(opt.Workload)
-	if !ok {
-		return Result{}, fmt.Errorf("sim: unknown workload %q (want one of: %s)",
-			opt.Workload, workloadNamesForError())
+	if err := validateOptions(opt); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
 	}
-	if opt.CacheBytes < MinCacheBytes || opt.CacheBytes > MaxCacheBytes {
-		return Result{}, fmt.Errorf("sim: cache size %d out of modeled range [%d, %d]",
-			opt.CacheBytes, MinCacheBytes, MaxCacheBytes)
-	}
-	if opt.BillieDigit < MinBillieDigit || opt.BillieDigit > MaxBillieDigit {
-		return Result{}, fmt.Errorf("sim: Billie digit size %d out of modeled range [%d, %d]",
-			opt.BillieDigit, MinBillieDigit, MaxBillieDigit)
-	}
-	if !KnownMonteWidth(opt.MonteWidth) {
-		return Result{}, fmt.Errorf("sim: Monte datapath width %d not a synthesized configuration (want one of %v)",
-			opt.MonteWidth, energy.MonteWidths)
-	}
+	// validateOptions already rejected unknown workload names.
+	wl, _ := workloadByName(opt.Workload)
 	if IsPrimeCurve(curveName) {
 		return runPrime(arch, curveName, opt, wl)
 	}
@@ -349,13 +344,25 @@ func priceWorkload(phases []profiledPhase, fc, oc FieldCosts, accel bool) []tall
 func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases []profiledPhase, tallies []tally, fieldBits int) (Result, error) {
 	res := Result{Arch: arch, Curve: curveName, Opt: opt, Workload: wl.name}
 
+	// Line-size scaling (cache.EffectiveLine semantics): the miss ratio,
+	// the per-miss stall, and the ROM beats per fill all derive from the
+	// configured line. At the default 16-byte line every factor is
+	// exactly 1x/3-cycle, so pre-axis results are bit-identical.
+	line := opt.CacheLineBytes
+	if line == 0 {
+		line = DefaultCacheLineBytes
+	}
+	lineScale := lineMissScale(line)
+	beats := float64(cache.BeatsPerFill(line))
+	penalty := float64(cache.MissPenaltyFor(line))
+
 	apply := func(t tally) (uint64, energy.Breakdown, uint64, uint64) {
 		cycles := t.cycles
 		var missStall, lineReads, cacheAccesses uint64
 		if arch.HasCache() {
 			cacheAccesses = t.insts
 			if !opt.IdealCache {
-				raw := float64(t.insts) * cacheMissRate(opt.CacheBytes)
+				raw := float64(t.insts) * cacheMissRate(opt.CacheBytes) * lineScale
 				stallMisses := raw
 				if opt.Prefetch {
 					stallMisses = raw * (1 - prefetchCoverage(opt.CacheBytes))
@@ -363,7 +370,7 @@ func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases [
 				} else {
 					lineReads = uint64(raw)
 				}
-				missStall = uint64(stallMisses * 3) // 3-cycle miss penalty
+				missStall = uint64(stallMisses * penalty)
 				cycles += missStall
 			}
 		}
@@ -375,9 +382,10 @@ func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases [
 		activity := (float64(swCycles) + energy.StallActivity*float64(t.accel+missStall)) / float64(cycles)
 		bd.Pete = (energy.PeteClockW+energy.PeteStaticW)*T + energy.PeteDatapathW*activity*T
 
-		// ROM and cache/uncore.
+		// ROM and cache/uncore. A fill crosses the 128-bit ROM port once
+		// per beat, so longer lines pay proportionally more per fill.
 		if arch.HasCache() {
-			bd.ROM = float64(lineReads) * energy.ROMLineReadEnergy()
+			bd.ROM = float64(lineReads) * energy.ROMLineReadEnergy() * beats
 			uncoreW := energy.UncoreBaseW + energy.UncoreCacheW + energy.UncoreStatic
 			if opt.IdealCache {
 				// The Figure 7.11 best-case model counts only the

@@ -63,6 +63,18 @@ func TestRunValidation(t *testing.T) {
 			opt: mut(func(o *Options) { o.MonteWidth = -32 }), wantSub: "datapath width -32",
 		},
 		{
+			name: "line size not a power of two", arch: ISAExtCache, curve: "P-192",
+			opt: mut(func(o *Options) { o.CacheLineBytes = 24 }), wantSub: "cache line size 24",
+		},
+		{
+			name: "line size below modeled range", arch: ISAExtCache, curve: "P-192",
+			opt: mut(func(o *Options) { o.CacheLineBytes = 4 }), wantSub: "cache line size 4",
+		},
+		{
+			name: "line size above modeled range", arch: ISAExtCache, curve: "P-192",
+			opt: mut(func(o *Options) { o.CacheLineBytes = 256 }), wantSub: "cache line size 256",
+		},
+		{
 			name: "unknown workload", arch: Baseline, curve: "P-192",
 			opt: mut(func(o *Options) { o.Workload = "tls13" }), wantSub: `unknown workload "tls13"`,
 		},
@@ -119,6 +131,60 @@ func TestRunZeroOptionsDefault(t *testing.T) {
 	}
 	if zero.Opt.CacheBytes != 4096 || zero.Opt.BillieDigit != 3 || zero.Opt.MonteWidth != DefaultMonteWidth {
 		t.Errorf("Result.Opt should record defaulted knobs, got %+v", zero.Opt)
+	}
+}
+
+// TestCacheLineModel pins the line-size axis semantics: the default and
+// an explicit 16-byte line are bit-identical to the pre-axis model,
+// longer lines cut miss stalls (mostly-sequential fetch) while paying
+// more ROM energy per fill, and the knob is inert on uncached and
+// ideal-cache configurations.
+func TestCacheLineModel(t *testing.T) {
+	at := func(line int, f func(*Options)) Result {
+		o := DefaultOptions()
+		o.CacheLineBytes = line
+		if f != nil {
+			f(&o)
+		}
+		r, err := Run(ISAExtCache, "P-256", o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	def, sixteen := at(0, nil), at(16, nil)
+	if def.TotalCycles() != sixteen.TotalCycles() || def.TotalEnergy() != sixteen.TotalEnergy() {
+		t.Error("explicit 16-byte line must behave exactly like the default")
+	}
+	if sixteen.Opt.CacheLineBytes != 0 {
+		t.Errorf("Result.Opt must record the default line as 0 (store byte-identity), got %d",
+			sixteen.Opt.CacheLineBytes)
+	}
+
+	w32, w64 := at(32, nil), at(64, nil)
+	if !(w64.CacheMissStall < w32.CacheMissStall && w32.CacheMissStall < def.CacheMissStall) {
+		t.Errorf("miss stalls must fall with line size: 16B=%d 32B=%d 64B=%d",
+			def.CacheMissStall, w32.CacheMissStall, w64.CacheMissStall)
+	}
+	// Sequential-fetch scaling is sublinear: halving misses while more
+	// than doubling the per-fill ROM cost must not make ROM energy fall.
+	if w64.CombinedBreakdown().ROM <= def.CombinedBreakdown().ROM {
+		t.Errorf("longer lines must pay more ROM fill energy: 16B=%g 64B=%g",
+			def.CombinedBreakdown().ROM, w64.CombinedBreakdown().ROM)
+	}
+
+	// Inert where the cache (or its misses) do not exist.
+	base := MustRun(Baseline, "P-256", DefaultOptions())
+	o := DefaultOptions()
+	o.CacheLineBytes = 64
+	base64 := MustRun(Baseline, "P-256", o)
+	if base.TotalEnergy() != base64.TotalEnergy() {
+		t.Error("line size must be inert on uncached architectures")
+	}
+	ideal := at(0, func(o *Options) { o.IdealCache = true })
+	ideal64 := at(64, func(o *Options) { o.IdealCache = true })
+	if ideal.TotalEnergy() != ideal64.TotalEnergy() {
+		t.Error("line size must be inert under the ideal-cache bound")
 	}
 }
 

@@ -46,6 +46,7 @@
 package repro
 
 import (
+	"flag"
 	"fmt"
 
 	"repro/internal/dse"
@@ -218,6 +219,23 @@ func (k *Key) Verify(digest []byte, sig *Signature) bool {
 func Simulate(arch Architecture, curveName string, opt Options) (SimResult, error) {
 	return sim.Run(arch, curveName, opt)
 }
+
+// RegisterAxisFlags registers one CLI flag per design-space axis on fs
+// (call before fs.Parse) and returns an apply function copying the
+// parsed values into an Options. The flag names, defaults and usage
+// strings come from the dse axis registry, so a newly registered axis
+// surfaces on any CLI built this way without per-flag wiring.
+func RegisterAxisFlags(fs *flag.FlagSet) func(*Options) {
+	return dse.RegisterAxisFlags(fs)
+}
+
+// AxesHelp renders the design-space axis registry as help text: one
+// line per knob with its CLI flag, description and value domain.
+func AxesHelp() string { return dse.AxesHelp() }
+
+// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates,
+// in registry order.
+func AxisFlagNames() []string { return dse.AxisFlagNames() }
 
 // Design-space exploration types, re-exported from internal/dse.
 type (
