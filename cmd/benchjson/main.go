@@ -1,0 +1,148 @@
+// Command benchjson converts `go test -bench` text output into
+// machine-readable JSON, so CI can archive benchmark numbers as a
+// comparable artifact instead of a log to eyeball:
+//
+//	go test -bench . -benchmem -run '^$' . | benchjson -o bench.json
+//
+// Every benchmark line is parsed into its name, the GOMAXPROCS suffix,
+// the iteration count, and all value/unit pairs — the standard ns/op,
+// B/op and allocs/op as well as any custom ReportMetric units.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix stripped
+	// (it lands in Procs), so runs on different machines compare by name.
+	Name       string `json:"name"`
+	Procs      int    `json:"procs,omitempty"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps unit ("ns/op", "B/op", custom units) to value.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Output is the whole parsed run: the environment header lines go test
+// prints plus every benchmark.
+type Output struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Parse reads `go test -bench` output and collects the header fields and
+// benchmark lines, ignoring everything else (PASS/ok trailers, test
+// logs). Unparseable Benchmark… lines are skipped, not fatal: a partial
+// artifact beats none when one benchmark panics.
+func Parse(r io.Reader) (Output, error) {
+	out := Output{Benchmarks: []Benchmark{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			out.Goos = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			out.Goarch = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "pkg: "):
+			out.Pkg = strings.TrimPrefix(line, "pkg: ")
+		case strings.HasPrefix(line, "cpu: "):
+			out.CPU = strings.TrimPrefix(line, "cpu: ")
+		case strings.HasPrefix(line, "Benchmark"):
+			if b, ok := parseBenchLine(line); ok {
+				out.Benchmarks = append(out.Benchmarks, b)
+			}
+		}
+	}
+	stripProcs(out.Benchmarks)
+	return out, sc.Err()
+}
+
+// stripProcs moves go test's -N GOMAXPROCS name suffix into Procs. The
+// suffix is indistinguishable from a digit-bearing benchmark name on a
+// single line (this repo's curve names end in -192, -283, …), but it is
+// uniform across a run while name digits vary — so it is stripped only
+// when every benchmark carries the same trailing -N.
+func stripProcs(bs []Benchmark) {
+	procs := -1
+	for _, b := range bs {
+		i := strings.LastIndex(b.Name, "-")
+		if i < 0 {
+			return
+		}
+		p, err := strconv.Atoi(b.Name[i+1:])
+		if err != nil || p <= 0 || (procs != -1 && p != procs) {
+			return
+		}
+		procs = p
+	}
+	for i := range bs {
+		j := strings.LastIndex(bs[i].Name, "-")
+		bs[i].Name, bs[i].Procs = bs[i].Name[:j], procs
+	}
+}
+
+// parseBenchLine parses one "BenchmarkName-N  iters  v unit  v unit…"
+// line.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: fields[0], Metrics: map[string]float64{}}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b.Iterations = iters
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	flag.Parse()
+
+	parsed, err := Parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(parsed.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+	data, err := json.MarshalIndent(parsed, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *outPath == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: %d benchmarks -> %s\n", len(parsed.Benchmarks), *outPath)
+}

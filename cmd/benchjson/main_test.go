@@ -1,0 +1,86 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) CPU
+BenchmarkSimBaselineP192-8   	     100	  11234567 ns/op	     123 B/op	       4 allocs/op
+BenchmarkFullSweep-8         	       1	5123456789 ns/op	      53 points	 2.50 points/s
+BenchmarkTable7_1/monte/P-192-8	      10	      512345 ns/op
+garbage line that is not a benchmark
+--- BENCH: BenchmarkWithLog-8
+    bench_test.go:10: some log output
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	out, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Goos != "linux" || out.Goarch != "amd64" || out.Pkg != "repro" ||
+		!strings.Contains(out.CPU, "Xeon") {
+		t.Errorf("header fields off: %+v", out)
+	}
+	if len(out.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3: %+v", len(out.Benchmarks), out.Benchmarks)
+	}
+
+	b := out.Benchmarks[0]
+	if b.Name != "BenchmarkSimBaselineP192" || b.Procs != 8 || b.Iterations != 100 {
+		t.Errorf("first benchmark identity off: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 11234567 || b.Metrics["B/op"] != 123 || b.Metrics["allocs/op"] != 4 {
+		t.Errorf("first benchmark metrics off: %v", b.Metrics)
+	}
+
+	// Custom ReportMetric units survive.
+	if m := out.Benchmarks[1].Metrics; m["points"] != 53 || m["points/s"] != 2.5 {
+		t.Errorf("custom metrics off: %v", m)
+	}
+
+	// A curve-named subtest keeps its -192: only the uniform -8 procs
+	// suffix is stripped.
+	if b := out.Benchmarks[2]; b.Name != "BenchmarkTable7_1/monte/P-192" || b.Procs != 8 {
+		t.Errorf("curve-suffixed benchmark off: %+v", b)
+	}
+}
+
+// TestParseNoProcsSuffix covers a GOMAXPROCS=1 run: go test appends no
+// -N suffix, and benchmark names whose own digits differ (-192 vs -283)
+// must not be mistaken for one.
+func TestParseNoProcsSuffix(t *testing.T) {
+	in := `BenchmarkECDSASign/P-192	1	4547760 ns/op
+BenchmarkECDSASign/B-283	1	11607701 ns/op
+`
+	out, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(out.Benchmarks))
+	}
+	for i, want := range []string{"BenchmarkECDSASign/P-192", "BenchmarkECDSASign/B-283"} {
+		if b := out.Benchmarks[i]; b.Name != want || b.Procs != 0 {
+			t.Errorf("benchmark %d = %+v, want name %q with no procs", i, b, want)
+		}
+	}
+}
+
+func TestParseBenchLineRejectsGarbage(t *testing.T) {
+	for _, line := range []string{
+		"BenchmarkOnly",
+		"BenchmarkBadIters-4 xyz 100 ns/op",
+		"BenchmarkBadValue-4 10 abc ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parseBenchLine accepted %q", line)
+		}
+	}
+}

@@ -39,6 +39,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -62,6 +64,10 @@ func main() {
 		progress = flag.Bool("progress", false, "with -sweep: render a live per-point progress counter to stderr")
 		curves   = flag.String("curves", "", "with -sweep: comma-separated curve subset replacing the full 10-curve axis")
 		shard    = flag.String("shard", "", "with -sweep: run one shard of the grid, as i/n (e.g. 0/2); results flush to a per-shard store in -cache-dir, combined later by -merge-cache")
+
+		stats     = flag.Bool("stats", false, "after a -sweep or -arch run: print collected telemetry (per-phase census-vs-pricing split, sweep stage timing, cache counters)")
+		traceFile = flag.String("trace", "", "append one JSON event per run stage (sweep start/point/flush/end, merges) to this file; shard runs may share it")
+		httpAddr  = flag.String("http", "", "with -sweep: serve live /metrics, /progress and /debug/pprof on this address (e.g. :8080) while the sweep runs")
 
 		mergeCache = flag.Bool("merge-cache", false, "merge the per-shard result stores in -cache-dir into the canonical single store")
 	)
@@ -117,8 +123,16 @@ func main() {
 		os.Exit(1)
 	}
 	if !*sweep {
-		if *jsonOut || *pareto || *workers != 0 || *progress {
-			fmt.Fprintln(os.Stderr, "-json, -pareto, -workers and -progress apply to -sweep only")
+		if *jsonOut || *pareto || *workers != 0 || *progress || *httpAddr != "" {
+			fmt.Fprintln(os.Stderr, "-json, -pareto, -workers, -progress and -http apply to -sweep only")
+			os.Exit(1)
+		}
+		if *stats && *arch == "" {
+			fmt.Fprintln(os.Stderr, "-stats applies to -sweep and -arch runs only")
+			os.Exit(1)
+		}
+		if *traceFile != "" && !*mergeCache {
+			fmt.Fprintln(os.Stderr, "-trace applies to -sweep and -merge-cache only")
 			os.Exit(1)
 		}
 		if *cacheDir != "" && !*mergeCache {
@@ -135,7 +149,13 @@ func main() {
 		fmt.Println("\ndesign-space axes (SweepSpec fields / flags, generated from the axis registry):")
 		fmt.Print(repro.AxesHelp())
 	case *sweep:
-		if err := runSweep(*workers, *pareto, *jsonOut, *cacheDir, workload, *curves, *shard, *progress); err != nil {
+		err := runSweep(sweepConfig{
+			workers: *workers, paretoOnly: *pareto, jsonOut: *jsonOut,
+			cacheDir: *cacheDir, workloads: workload, curves: *curves,
+			shard: *shard, progress: *progress, stats: *stats,
+			traceFile: *traceFile, httpAddr: *httpAddr,
+		})
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -144,11 +164,20 @@ func main() {
 			fmt.Fprintln(os.Stderr, "-merge-cache needs -cache-dir (the directory holding the shard stores)")
 			os.Exit(1)
 		}
-		files, entries, err := repro.MergeSweepStores(*cacheDir)
+		journal, closeJournal, err := openJournal(*traceFile)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		files, entries, err := repro.MergeSweepStores(*cacheDir)
+		if err != nil {
+			journal.Emit("merge", map[string]any{"dir": *cacheDir, "error": err.Error()})
+			closeJournal()
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		journal.Emit("merge", map[string]any{"dir": *cacheDir, "files": files, "entries": entries})
+		closeJournal()
 		fmt.Printf("merged %d store(s) into %s: %d results\n",
 			files, repro.SweepStorePath(*cacheDir), entries)
 	case *all:
@@ -168,98 +197,192 @@ func main() {
 		}
 		opt := repro.DefaultOptions()
 		applyAxes(&opt)
+		var reg *repro.Metrics
+		if *stats {
+			reg = repro.NewMetrics()
+			repro.EnableSimMetrics(reg)
+		}
 		r, err := repro.Simulate(a, *curve, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		printResult(r)
+		if reg != nil {
+			fmt.Println()
+			printStats(os.Stdout, reg, nil)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)
 	}
 }
 
+// sweepConfig carries the parsed -sweep flags into runSweep.
+type sweepConfig struct {
+	workers             int
+	paretoOnly, jsonOut bool
+	cacheDir, workloads string
+	curves, shard       string
+	progress, stats     bool
+	traceFile, httpAddr string
+}
+
+// openJournal opens (or creates) a run-journal file in append mode so
+// several shard runs and the final merge can share one trace, returning
+// a nil journal (whose Emit is a no-op) when no file was requested.
+func openJournal(path string) (*repro.RunJournal, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("open -trace file: %w", err)
+	}
+	j := repro.NewRunJournal(f)
+	return j, func() {
+		if err := j.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: run journal incomplete: %v\n", err)
+		}
+		f.Close()
+	}, nil
+}
+
 // runSweep explores the full design space (or one shard of it) and
 // prints either the whole point cloud or just its Pareto frontier, as
 // text or JSON.
-func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads, curves, shard string, progress bool) error {
+func runSweep(cfg sweepConfig) error {
 	spec := repro.FullSweepSpec()
-	if workloads != "" {
-		for _, wl := range strings.Split(workloads, ",") {
+	if cfg.workloads != "" {
+		for _, wl := range strings.Split(cfg.workloads, ",") {
 			wl = strings.TrimSpace(wl)
 			if wl == "" {
 				return fmt.Errorf("empty workload name in -workload %q (want a comma-separated subset of %v)",
-					workloads, repro.WorkloadNames())
+					cfg.workloads, repro.WorkloadNames())
 			}
 			spec.Workloads = append(spec.Workloads, wl)
 		}
 	}
-	if curves != "" {
+	if cfg.curves != "" {
 		spec.Curves = nil
-		for _, c := range strings.Split(curves, ",") {
+		for _, c := range strings.Split(cfg.curves, ",") {
 			c = strings.TrimSpace(c)
 			if c == "" {
 				return fmt.Errorf("empty curve name in -curves %q (want a comma-separated subset of %v)",
-					curves, repro.CurveNames())
+					cfg.curves, repro.CurveNames())
 			}
 			spec.Curves = append(spec.Curves, c)
 		}
 	}
-	opt := repro.SweepOptions{Workers: workers, CacheDir: cacheDir}
-	if shard != "" {
-		idx, count, err := parseShard(shard)
+	opt := repro.SweepOptions{Workers: cfg.workers, CacheDir: cfg.cacheDir}
+	if cfg.shard != "" {
+		idx, count, err := parseShard(cfg.shard)
 		if err != nil {
 			return err
 		}
-		if cacheDir == "" {
-			return fmt.Errorf("-shard %s without -cache-dir would discard the shard's results (no store to flush to)", shard)
+		if cfg.cacheDir == "" {
+			return fmt.Errorf("-shard %s without -cache-dir would discard the shard's results (no store to flush to)", cfg.shard)
 		}
 		opt.ShardIndex, opt.ShardCount = idx, count
 	}
-	if progress {
-		cached := 0
+
+	// -stats and -http both need the registry; the simulator hook and the
+	// cache gauges ride along so /metrics shows the whole pipeline.
+	var reg *repro.Metrics
+	if cfg.stats || cfg.httpAddr != "" {
+		reg = repro.NewMetrics()
+		repro.EnableSimMetrics(reg)
+		repro.RegisterCacheMetrics(reg)
+		opt.Metrics = reg
+	}
+	journal, closeJournal, err := openJournal(cfg.traceFile)
+	if err != nil {
+		return err
+	}
+	defer closeJournal()
+	opt.Journal = journal
+
+	var track *repro.SweepProgressTracker
+	if cfg.httpAddr != "" {
+		track = &repro.SweepProgressTracker{}
+		ln, err := net.Listen("tcp", cfg.httpAddr)
+		if err != nil {
+			return fmt.Errorf("-http %s: %w", cfg.httpAddr, err)
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /progress and /debug/pprof on http://%s\n", ln.Addr())
+		srv := &http.Server{Handler: repro.TelemetryHandler(reg, track)}
+		go srv.Serve(ln)
+		defer srv.Close()
+	}
+
+	// The progress callback only paints the live \r-overwritten counter;
+	// the newline-terminated final tally is printed after Sweep returns
+	// (success or failure), so an aborted sweep never leaves a stale
+	// partial line for the next output to collide with.
+	var rendered bool
+	var lastDone, cachedSoFar int
+	if cfg.progress || track != nil {
 		opt.Progress = func(done, total int, fromCache bool) {
+			lastDone = done
 			if fromCache {
-				cached++
+				cachedSoFar++
 			}
-			fmt.Fprintf(os.Stderr, "\rsweep: %d/%d configurations (%d cached)", done, total, cached)
-			if done == total {
-				fmt.Fprintln(os.Stderr)
+			if track != nil {
+				track.Observe(done, total, fromCache)
+			}
+			if cfg.progress {
+				rendered = true
+				fmt.Fprintf(os.Stderr, "\rsweep: %d/%d configurations (%d cached)", done, total, cachedSoFar)
 			}
 		}
 	}
 	res, err := repro.Sweep(spec, opt)
+	if rendered {
+		// Terminate (and on failure, visibly close off) the live line.
+		fmt.Fprintln(os.Stderr)
+	}
+	if cfg.progress {
+		simulated, cached := lastDone-cachedSoFar, cachedSoFar
+		if res != nil {
+			simulated, cached = int(res.CacheMisses), int(res.CacheHits)
+		}
+		status := "done"
+		if err != nil {
+			status = "failed"
+		}
+		fmt.Fprintf(os.Stderr, "sweep %s: %d simulated, %d cached\n", status, simulated, cached)
+	}
 	if err != nil {
 		return err
 	}
-	if cacheDir != "" && !jsonOut {
+	if cfg.cacheDir != "" && !cfg.jsonOut {
 		if res.DiskUnchanged {
 			fmt.Printf("persistent cache: %d results loaded from %s, store already up to date (nothing flushed)\n",
-				res.DiskLoaded, cacheDir)
+				res.DiskLoaded, cfg.cacheDir)
 		} else {
 			fmt.Printf("persistent cache: %d results loaded from %s, %d flushed back\n",
-				res.DiskLoaded, cacheDir, res.DiskSaved)
+				res.DiskLoaded, cfg.cacheDir, res.DiskSaved)
 		}
 	}
-	if res.ShardCount > 1 && !jsonOut {
+	if res.ShardCount > 1 && !cfg.jsonOut {
 		fmt.Printf("shard %d/%d: %d of the grid's configurations belong to this runner\n",
 			res.ShardIndex, res.ShardCount, res.Configs)
 	}
 	switch {
-	case jsonOut && paretoOnly:
+	case cfg.jsonOut && cfg.paretoOnly:
 		out, err := repro.SweepFrontiersJSON(res.Points)
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(out))
-	case jsonOut:
+	case cfg.jsonOut:
 		out, err := res.MarshalJSON()
 		if err != nil {
 			return err
 		}
 		fmt.Println(string(out))
-	case paretoOnly:
+	case cfg.paretoOnly:
 		frontier := repro.Pareto(res.Points)
 		fmt.Printf("energy-vs-latency Pareto frontier: %d of %d unique configurations (grid %d, workers %d, cache %d hit / %d miss)\n",
 			len(frontier), res.Configs, res.RawPoints, res.Workers,
@@ -275,6 +398,17 @@ func runSweep(workers int, paretoOnly, jsonOut bool, cacheDir, workloads, curves
 			res.Configs, res.RawPoints, res.Workers,
 			res.CacheHits, res.CacheMisses)
 		printPoints(res.Points)
+	}
+	if cfg.stats {
+		// In -json mode stdout is a machine-readable document; the human
+		// stats report moves to stderr instead of corrupting it.
+		w := os.Stdout
+		if cfg.jsonOut {
+			w = os.Stderr
+		} else {
+			fmt.Println()
+		}
+		printStats(w, reg, res.Timing)
 	}
 	return nil
 }

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro"
+)
+
+// printStats renders the telemetry collected during a run: the
+// simulator's census-vs-pricing split per workload phase, the sweep's
+// stage timing when one ran, and the registry's remaining counters and
+// gauges (including the process-wide result-cache view). The writer is
+// stderr in -json mode so machine-readable stdout stays pure JSON.
+func printStats(w io.Writer, reg *repro.Metrics, timing *repro.SweepTiming) {
+	s := reg.Snapshot()
+
+	// The per-phase split: census is the functionally-verified crypto
+	// execution being profiled, pricing is the cost model run over its
+	// operation counts. Only phases that actually executed appear.
+	var phases []string
+	for name := range s.Histograms {
+		if strings.HasPrefix(name, "sim.profile.") {
+			phases = append(phases, strings.TrimPrefix(name, "sim.profile."))
+		}
+	}
+	sort.Strings(phases)
+	if len(phases) > 0 {
+		fmt.Fprintln(w, "simulator phases (census = profiled crypto execution; pricing = cost model):")
+		fmt.Fprintf(w, "  %-8s %8s %14s %14s %16s\n",
+			"phase", "runs", "census(ms)", "pricing(ms)", "census p95(ms)")
+		for _, ph := range phases {
+			prof := s.Histograms["sim.profile."+ph]
+			price := s.Histograms["sim.price."+ph]
+			fmt.Fprintf(w, "  %-8s %8d %14.2f %14.2f %16.3f\n",
+				ph, prof.Count, prof.SumS*1e3, price.SumS*1e3, prof.P95S*1e3)
+		}
+		if asm := s.Histograms["sim.assemble"]; asm.Count > 0 {
+			fmt.Fprintf(w, "  %-8s %8d %14s %14.2f\n", "assemble", asm.Count, "-", asm.SumS*1e3)
+		}
+	}
+
+	if timing != nil {
+		fmt.Fprintln(w, "sweep stages:")
+		fmt.Fprintf(w, "  total %.3fs  expand %.3fs  load %.3fs (%d B)  flush %.3fs (%d B)\n",
+			timing.TotalSeconds, timing.ExpandSeconds,
+			timing.LoadSeconds, timing.LoadBytes,
+			timing.FlushSeconds, timing.FlushBytes)
+		if timing.Simulated.Count > 0 {
+			fmt.Fprintf(w, "  simulated points: %d (p50 %.1fms, p95 %.1fms, max %.1fms)\n",
+				timing.Simulated.Count, timing.Simulated.P50S*1e3,
+				timing.Simulated.P95S*1e3, timing.Simulated.MaxS*1e3)
+		}
+		if timing.Cached.Count > 0 {
+			fmt.Fprintf(w, "  cached points:    %d (p50 %.3fms, p95 %.3fms, max %.3fms)\n",
+				timing.Cached.Count, timing.Cached.P50S*1e3,
+				timing.Cached.P95S*1e3, timing.Cached.MaxS*1e3)
+		}
+	}
+
+	if len(s.Counters) > 0 {
+		fmt.Fprintln(w, "counters:")
+		for _, name := range sortedKeys(s.Counters) {
+			fmt.Fprintf(w, "  %-24s %d\n", name, s.Counters[name])
+		}
+	}
+	if len(s.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges:")
+		for _, name := range sortedKeys(s.Gauges) {
+			fmt.Fprintf(w, "  %-24s %d\n", name, s.Gauges[name])
+		}
+	}
+
+	hits, misses, entries := repro.SweepCacheStats()
+	fmt.Fprintf(w, "process-wide result cache: %d hits / %d misses, %d entries resident\n",
+		hits, misses, entries)
+}
+
+// sortedKeys returns a map's keys in sorted order for stable output.
+func sortedKeys(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

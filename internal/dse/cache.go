@@ -49,7 +49,11 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
-// Stats returns cumulative hit and miss counts.
+// Stats returns cumulative hit and miss counts — the cache's whole
+// lifetime, across every sweep that used it. For per-sweep accounting
+// read SweepResult.CacheHits/CacheMisses instead; to scope Stats to one
+// sweep, pass a fresh NewCache (or call Reset first, discarding the
+// cached results along with the counters).
 func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()

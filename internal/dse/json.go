@@ -53,19 +53,23 @@ type PhaseJSON struct {
 // shard and disk fields are omitted when zero/false, keeping unsharded
 // in-memory sweep output byte-identical to the pre-shard wire form.
 type SweepJSON struct {
-	ClockHz       float64     `json:"clockHz"`
-	RawPoints     int         `json:"rawPoints"`
-	Configs       int         `json:"configs"`
-	Workers       int         `json:"workers"`
-	ShardIndex    int         `json:"shardIndex,omitempty"`
-	ShardCount    int         `json:"shardCount,omitempty"`
-	CacheHits     uint64      `json:"cacheHits"`
-	CacheMisses   uint64      `json:"cacheMisses"`
-	DiskLoaded    int         `json:"diskLoaded,omitempty"`
-	DiskSaved     int         `json:"diskSaved,omitempty"`
-	DiskUnchanged bool        `json:"diskUnchanged,omitempty"`
-	Points        []PointJSON `json:"points"`
-	Pareto        []PointJSON `json:"pareto"`
+	ClockHz       float64 `json:"clockHz"`
+	RawPoints     int     `json:"rawPoints"`
+	Configs       int     `json:"configs"`
+	Workers       int     `json:"workers"`
+	ShardIndex    int     `json:"shardIndex,omitempty"`
+	ShardCount    int     `json:"shardCount,omitempty"`
+	CacheHits     uint64  `json:"cacheHits"`
+	CacheMisses   uint64  `json:"cacheMisses"`
+	DiskLoaded    int     `json:"diskLoaded,omitempty"`
+	DiskSaved     int     `json:"diskSaved,omitempty"`
+	DiskUnchanged bool    `json:"diskUnchanged,omitempty"`
+	// Timing is present only for instrumented sweeps (SweepOptions.Metrics
+	// set); uninstrumented output stays byte-identical to the
+	// pre-telemetry wire form.
+	Timing *SweepTiming `json:"timing,omitempty"`
+	Points []PointJSON  `json:"points"`
+	Pareto []PointJSON  `json:"pareto"`
 	// ParetoPerLevel holds the frontier within each security level —
 	// the comparison at fixed key strength.
 	ParetoPerLevel []LevelFrontierJSON `json:"paretoPerLevel"`
@@ -130,6 +134,7 @@ func (r *SweepResult) MarshalJSON() ([]byte, error) {
 		DiskLoaded:    r.DiskLoaded,
 		DiskSaved:     r.DiskSaved,
 		DiskUnchanged: r.DiskUnchanged,
+		Timing:        r.Timing,
 		Points:        make([]PointJSON, 0, len(r.Points)),
 		Pareto:        make([]PointJSON, 0),
 	}

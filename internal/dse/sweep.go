@@ -5,6 +5,9 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // SweepOptions tunes how a sweep executes.
@@ -24,9 +27,24 @@ type SweepOptions struct {
 	// sweeps: it is invoked once per configuration, in deterministic
 	// specification order regardless of the worker count, with the
 	// number of points completed so far, the total, and whether that
-	// point was served from cache. Calls are serialized; the callback
-	// runs on worker goroutines and should be fast.
+	// point was served from cache. Calls are serialized and ordered, but
+	// run outside the sweep's internal bookkeeping lock: a slow callback
+	// (a renderer, a journal write) delays later callbacks, not the
+	// worker pool.
 	Progress func(done, total int, cached bool)
+	// Metrics, when non-nil, records sweep telemetry into the registry
+	// (per-point simulate-vs-cached durations, worker-pool occupancy,
+	// expansion and store load/flush timing) and fills SweepResult.Timing.
+	// Telemetry is carried out-of-band: results, keys, hashes and store
+	// bytes are identical with and without it.
+	Metrics *telemetry.Registry
+	// Journal, when non-nil, receives one JSONL lifecycle event per
+	// sweep stage: sweep_start, store_load, one point event per
+	// configuration in specification order (with duration, cache-hit
+	// flag, and the error for a failed point), store_flush (including
+	// the partial flush of a failed sweep), and sweep_end. Best-effort:
+	// journal write errors never fail the sweep (check Journal.Err).
+	Journal *telemetry.Journal
 	// ShardIndex/ShardCount split the expanded configuration list across
 	// cooperating processes or hosts: shard i of n evaluates only the
 	// configurations whose canonical hash ShardOf maps to i, so any
@@ -61,7 +79,8 @@ type SweepResult struct {
 	ShardIndex int
 	ShardCount int
 
-	// Cache accounting for this sweep only (not cumulative).
+	// Cache accounting for this sweep only (not cumulative; the cache's
+	// own Stats method is the process-cumulative view).
 	CacheHits   uint64
 	CacheMisses uint64
 
@@ -72,6 +91,12 @@ type SweepResult struct {
 	// already held exactly the cache content (nothing was written, so
 	// DiskSaved is 0).
 	DiskUnchanged bool
+
+	// Timing is the wall-clock breakdown of this sweep, present only
+	// when SweepOptions.Metrics was set. It is carried alongside the
+	// results, never inside them: an uninstrumented sweep's JSON is
+	// byte-identical to the pre-telemetry wire form.
+	Timing *SweepTiming
 }
 
 // Sweep explores the spec's cross-product on a sharded worker pool. Each
@@ -92,9 +117,21 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	if !sharded && opt.ShardIndex != 0 {
 		return nil, fmt.Errorf("dse: shard index %d without a shard count", opt.ShardIndex)
 	}
+
+	// telOn gates every timing capture; with neither a registry nor a
+	// journal, the sweep takes no clock readings at all.
+	telOn := opt.Metrics != nil || opt.Journal != nil
+	var sweepStart time.Time
+	if telOn {
+		sweepStart = time.Now()
+	}
 	cfgs := spec.Expand()
 	if sharded {
 		cfgs = shardConfigs(cfgs, opt.ShardIndex, opt.ShardCount)
+	}
+	var expandDur time.Duration
+	if telOn {
+		expandDur = time.Since(sweepStart)
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -103,6 +140,19 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	if workers > len(cfgs) && len(cfgs) > 0 {
 		workers = len(cfgs)
 	}
+	if opt.Metrics != nil {
+		opt.Metrics.Histogram("sweep.expand").Observe(expandDur)
+		opt.Metrics.Gauge("sweep.configs").Set(int64(len(cfgs)))
+		opt.Metrics.Gauge("sweep.workers").Set(int64(workers))
+	}
+	if opt.Journal != nil {
+		f := map[string]any{"configs": len(cfgs), "rawPoints": spec.RawPoints(), "workers": workers}
+		if sharded {
+			f["shardIndex"], f["shardCount"] = opt.ShardIndex, opt.ShardCount
+		}
+		opt.Journal.Emit("sweep_start", f)
+	}
+
 	cache := opt.Cache
 	if cache == nil {
 		cache = sharedCache
@@ -115,20 +165,46 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		}
 	}
 	var diskLoaded int
+	var loadSeconds float64
+	var loadBytes int64
 	if opt.CacheDir != "" {
-		n, err := cache.LoadFile(DiskCachePath(opt.CacheDir))
-		if err != nil {
+		load := func(path string) error {
+			var start time.Time
+			if telOn {
+				start = time.Now()
+			}
+			n, err := cache.LoadFile(path)
+			if err != nil {
+				return err
+			}
+			diskLoaded += n
+			// A cold sweep has no store yet; LoadFile treats that as
+			// zero entries, and the journal/metrics skip it too rather
+			// than record a phantom load.
+			if size := fileSize(path); telOn && (n > 0 || size > 0) {
+				d := time.Since(start)
+				loadSeconds += d.Seconds()
+				loadBytes += size
+				if opt.Metrics != nil {
+					opt.Metrics.Histogram("store.load").Observe(d)
+					opt.Metrics.Counter("store.load.entries").Add(int64(n))
+					opt.Metrics.Counter("store.load.bytes").Add(size)
+				}
+				opt.Journal.Emit("store_load", map[string]any{
+					"path": path, "entries": n, "seconds": d.Seconds(), "bytes": size,
+				})
+			}
+			return nil
+		}
+		if err := load(DiskCachePath(opt.CacheDir)); err != nil {
 			return nil, err
 		}
-		diskLoaded = n
 		if sharded {
 			// A shard also reads its own store, so re-running a shard
 			// before any merge is still served from disk.
-			n, err := cache.LoadFile(ShardStorePath(opt.CacheDir, opt.ShardIndex, opt.ShardCount))
-			if err != nil {
+			if err := load(ShardStorePath(opt.CacheDir, opt.ShardIndex, opt.ShardCount)); err != nil {
 				return nil, err
 			}
-			diskLoaded += n
 		}
 	}
 
@@ -136,25 +212,78 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	errs := make([]error, len(cfgs))
 	var hits, misses atomic.Uint64
 
-	// Progress bookkeeping: completions arrive in worker order, but the
-	// callback fires in specification order — each finished point is
+	// Per-sweep point-duration histograms feeding SweepResult.Timing
+	// (the registry's sweep.point.* twins accumulate across sweeps).
+	var simHist, cachedHist telemetry.Histogram
+	var durNS []int64
+	if telOn {
+		durNS = make([]int64, len(cfgs))
+	}
+	var busy *telemetry.Gauge
+	if opt.Metrics != nil {
+		busy = opt.Metrics.Gauge("sweep.workers.busy")
+	}
+
+	// Progress/journal bookkeeping: completions arrive in worker order,
+	// but delivery fires in specification order — each finished point is
 	// parked until every earlier point has finished too, so the (done,
-	// total, cached) stream is deterministic for any worker count.
+	// total, cached) stream and the journal's point events are
+	// deterministic for any worker count. The lock guards only the
+	// bookkeeping; the callbacks themselves run outside it (one
+	// deliverer at a time drains the ready prefix), so a slow Progress
+	// callback or journal write delays later deliveries, never the
+	// worker pool.
+	wantDelivery := opt.Progress != nil || opt.Journal != nil
 	var progressMu sync.Mutex
 	finished := make([]bool, len(cfgs))
 	wasHit := make([]bool, len(cfgs))
 	nextToReport := 0
+	delivering := false
+	deliver := func(j int) {
+		if opt.Journal != nil {
+			f := map[string]any{
+				"i": j + 1, "of": len(cfgs), "key": cfgs[j].Key(),
+				"cached": wasHit[j], "seconds": float64(durNS[j]) / 1e9,
+			}
+			if errs[j] != nil {
+				f["error"] = errs[j].Error()
+			}
+			opt.Journal.Emit("point", f)
+		}
+		if opt.Progress != nil {
+			opt.Progress(j+1, len(cfgs), wasHit[j])
+		}
+	}
 	reportProgress := func(i int, hit bool) {
-		if opt.Progress == nil {
+		if !wantDelivery {
 			return
 		}
 		progressMu.Lock()
-		defer progressMu.Unlock()
 		finished[i] = true
 		wasHit[i] = hit
-		for nextToReport < len(cfgs) && finished[nextToReport] {
-			opt.Progress(nextToReport+1, len(cfgs), wasHit[nextToReport])
-			nextToReport++
+		if delivering {
+			// Another worker is mid-delivery outside the lock; it will
+			// pick this point up on its next drain pass.
+			progressMu.Unlock()
+			return
+		}
+		delivering = true
+		for {
+			start := nextToReport
+			for nextToReport < len(cfgs) && finished[nextToReport] {
+				nextToReport++
+			}
+			ready := nextToReport
+			if ready == start {
+				delivering = false
+				progressMu.Unlock()
+				return
+			}
+			progressMu.Unlock()
+			for j := start; j < ready; j++ {
+				deliver(j)
+			}
+			progressMu.Lock()
 		}
 	}
 
@@ -166,7 +295,33 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 			defer wg.Done()
 			for i := range jobs {
 				cfg := cfgs[i]
+				if busy != nil {
+					busy.Add(1)
+				}
+				var pointStart time.Time
+				if telOn {
+					pointStart = time.Now()
+				}
 				res, hit, err := cache.GetOrRun(cfg)
+				if telOn {
+					d := time.Since(pointStart)
+					durNS[i] = int64(d)
+					if hit {
+						cachedHist.Observe(d)
+					} else {
+						simHist.Observe(d)
+					}
+					if opt.Metrics != nil {
+						name := "sweep.point.simulate"
+						if hit {
+							name = "sweep.point.cached"
+						}
+						opt.Metrics.Histogram(name).Observe(d)
+					}
+				}
+				if busy != nil {
+					busy.Add(-1)
+				}
 				if hit {
 					hits.Add(1)
 				} else {
@@ -202,6 +357,9 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	// full re-simulation. (SaveFile never persists error entries.)
 	var diskSaved int
 	var diskUnchanged bool
+	var flushErr error
+	var flushSeconds float64
+	var flushBytes int64
 	if opt.CacheDir != "" {
 		path := DiskCachePath(opt.CacheDir)
 		var keep func(hash string) bool
@@ -219,19 +377,85 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		// unchanged store (not a phantom save).
 		if sweepErr == nil && !sharded && misses.Load() == 0 && cache.Len() == diskLoaded {
 			diskUnchanged = true
+			opt.Journal.Emit("store_flush", map[string]any{
+				"path": path, "entries": 0, "unchanged": true,
+			})
 		} else {
-			n, err := cache.saveFile(path, keep)
-			if err != nil {
-				if sweepErr != nil {
-					return nil, fmt.Errorf("%w (and flushing partial results failed: %v)", sweepErr, err)
-				}
-				return nil, err
+			var start time.Time
+			if telOn {
+				start = time.Now()
 			}
-			diskSaved = n
+			var n int
+			n, flushErr = cache.saveFile(path, keep)
+			if telOn {
+				d := time.Since(start)
+				flushSeconds = d.Seconds()
+				flushBytes = fileSize(path)
+				if opt.Metrics != nil {
+					opt.Metrics.Histogram("store.flush").Observe(d)
+					opt.Metrics.Counter("store.flush.entries").Add(int64(n))
+					opt.Metrics.Counter("store.flush.bytes").Add(flushBytes)
+				}
+				f := map[string]any{
+					"path": path, "entries": n, "seconds": d.Seconds(), "bytes": flushBytes,
+				}
+				if sweepErr != nil {
+					// A failed sweep still flushes its completed points;
+					// the journal records that partial flush explicitly.
+					f["partial"] = true
+				}
+				if flushErr != nil {
+					f["error"] = flushErr.Error()
+				}
+				opt.Journal.Emit("store_flush", f)
+			}
+			if flushErr == nil {
+				diskSaved = n
+			}
 		}
 	}
-	if sweepErr != nil {
-		return nil, sweepErr
+
+	// Resolve the final error before the sweep_end event so the journal
+	// records exactly what the caller sees.
+	finalErr := sweepErr
+	if flushErr != nil {
+		if sweepErr != nil {
+			finalErr = fmt.Errorf("%w (and flushing partial results failed: %v)", sweepErr, flushErr)
+		} else {
+			finalErr = flushErr
+		}
+	}
+	if opt.Metrics != nil {
+		opt.Metrics.Counter("sweep.runs").Inc()
+		opt.Metrics.Counter("sweep.points.simulated").Add(int64(misses.Load()))
+		opt.Metrics.Counter("sweep.points.cached").Add(int64(hits.Load()))
+	}
+	if opt.Journal != nil {
+		f := map[string]any{
+			"configs": len(cfgs), "cacheHits": hits.Load(), "cacheMisses": misses.Load(),
+			"seconds": time.Since(sweepStart).Seconds(),
+		}
+		if finalErr != nil {
+			f["error"] = finalErr.Error()
+		}
+		opt.Journal.Emit("sweep_end", f)
+	}
+	if finalErr != nil {
+		return nil, finalErr
+	}
+
+	var timing *SweepTiming
+	if opt.Metrics != nil {
+		timing = &SweepTiming{
+			TotalSeconds:  time.Since(sweepStart).Seconds(),
+			ExpandSeconds: expandDur.Seconds(),
+			LoadSeconds:   loadSeconds,
+			LoadBytes:     loadBytes,
+			FlushSeconds:  flushSeconds,
+			FlushBytes:    flushBytes,
+			Simulated:     simHist.Snapshot(),
+			Cached:        cachedHist.Snapshot(),
+		}
 	}
 
 	shardIndex, shardCount := 0, 0
@@ -251,5 +475,6 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		DiskLoaded:    diskLoaded,
 		DiskSaved:     diskSaved,
 		DiskUnchanged: diskUnchanged,
+		Timing:        timing,
 	}, nil
 }

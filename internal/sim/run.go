@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/cache"
 	"repro/internal/ec"
@@ -191,6 +192,12 @@ func (t *tally) pricePointOps(p ec.PointOpCounters, accel bool) {
 // the ECDH sides really agree — while costs come from the measured
 // kernels and accelerator models.
 func Run(arch Arch, curveName string, opt Options) (Result, error) {
+	if reg := metrics(); reg != nil {
+		defer func(start time.Time) {
+			reg.Histogram("sim.run").Observe(time.Since(start))
+			reg.Counter("sim.runs").Inc()
+		}(time.Now())
+	}
 	if !ec.KnownCurve(curveName) {
 		return Result{}, fmt.Errorf("sim: unknown curve %q", curveName)
 	}
@@ -328,11 +335,22 @@ func priceCensus(c opCensus, fc, oc FieldCosts, accel bool) tally {
 	return t
 }
 
-// priceWorkload prices every profiled phase.
+// priceWorkload prices every profiled phase. Per-phase pricing time is
+// recorded as sim.price.<phase> when metrics are on — the counterpart
+// of the sim.profile.<phase> census timing, quantifying how cheap
+// pricing is next to profiling (the census-memoization case).
 func priceWorkload(phases []profiledPhase, fc, oc FieldCosts, accel bool) []tally {
+	reg := metrics()
 	out := make([]tally, len(phases))
 	for i, p := range phases {
+		var start time.Time
+		if reg != nil {
+			start = time.Now()
+		}
 		out[i] = priceCensus(p.census, fc, oc, accel)
+		if reg != nil {
+			reg.Histogram("sim.price." + p.name).Observe(time.Since(start))
+		}
 	}
 	return out
 }
@@ -342,6 +360,11 @@ func priceWorkload(phases []profiledPhase, fc, oc FieldCosts, accel bool) []tall
 // scales with it and Monte's width-aware power model interpolates
 // Table 7.3 by it.
 func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases []profiledPhase, tallies []tally, fieldBits int) (Result, error) {
+	if reg := metrics(); reg != nil {
+		defer func(start time.Time) {
+			reg.Histogram("sim.assemble").Observe(time.Since(start))
+		}(time.Now())
+	}
 	res := Result{Arch: arch, Curve: curveName, Opt: opt, Workload: wl.name}
 
 	// Line-size scaling (cache.EffectiveLine semantics): the miss ratio,

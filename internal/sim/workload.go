@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/ec"
 	"repro/internal/ecdsa"
@@ -140,8 +141,13 @@ func profilePrimeWorkload(curve *ec.PrimeCurve, wl workloadDef) ([]profiledPhase
 		}
 	}
 	var sig *ecdsa.Signature
+	reg := metrics()
 	phases := make([]profiledPhase, 0, len(wl.phases))
 	for _, ph := range wl.phases {
+		var phaseStart time.Time
+		if reg != nil {
+			phaseStart = time.Now()
+		}
 		var census opCensus
 		switch ph {
 		case PhaseKeyGen:
@@ -186,6 +192,9 @@ func profilePrimeWorkload(curve *ec.PrimeCurve, wl workloadDef) ([]profiledPhase
 		default:
 			return nil, fmt.Errorf("sim: unknown workload phase %q", ph)
 		}
+		if reg != nil {
+			reg.Histogram("sim.profile." + ph).Observe(time.Since(phaseStart))
+		}
 		phases = append(phases, profiledPhase{name: ph, census: census})
 	}
 	return phases, nil
@@ -201,8 +210,13 @@ func profileBinaryWorkload(curve *ec.BinaryCurve, wl workloadDef) ([]profiledPha
 		}
 	}
 	var sig *ecdsa.Signature
+	reg := metrics()
 	phases := make([]profiledPhase, 0, len(wl.phases))
 	for _, ph := range wl.phases {
+		var phaseStart time.Time
+		if reg != nil {
+			phaseStart = time.Now()
+		}
 		var census opCensus
 		switch ph {
 		case PhaseKeyGen:
@@ -244,6 +258,9 @@ func profileBinaryWorkload(curve *ec.BinaryCurve, wl workloadDef) ([]profiledPha
 			census = censusOfBinary(prof)
 		default:
 			return nil, fmt.Errorf("sim: unknown workload phase %q", ph)
+		}
+		if reg != nil {
+			reg.Histogram("sim.profile." + ph).Observe(time.Since(phaseStart))
 		}
 		phases = append(phases, profiledPhase{name: ph, census: census})
 	}

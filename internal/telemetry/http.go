@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+)
+
+// ProgressTracker aggregates a sweep's per-point Progress stream into a
+// live snapshot /progress can serve while the sweep runs. It is the
+// bridge between the deterministic ordered callback (done counts
+// 1..total in spec order) and concurrent HTTP readers; all methods are
+// safe for concurrent use and the zero value is ready.
+type ProgressTracker struct {
+	done    atomic.Int64
+	total   atomic.Int64
+	cached  atomic.Int64
+	startNS atomic.Int64 // wall nanos of Start; 0 = not started
+	doneAt  atomic.Int64 // wall nanos of the final point; 0 = running
+}
+
+// Start marks the beginning of a run (resets counters and the clock).
+func (p *ProgressTracker) Start(total int) {
+	p.done.Store(0)
+	p.total.Store(int64(total))
+	p.cached.Store(0)
+	p.doneAt.Store(0)
+	p.startNS.Store(time.Now().UnixNano())
+}
+
+// Observe records one per-point completion; wire it into
+// SweepOptions.Progress (signature-compatible). cached follows the
+// callback's convention: true when the point was served from cache.
+func (p *ProgressTracker) Observe(done, total int, cached bool) {
+	p.done.Store(int64(done))
+	p.total.Store(int64(total))
+	if cached {
+		p.cached.Add(1)
+	}
+	if done == total {
+		p.doneAt.Store(time.Now().UnixNano())
+	}
+}
+
+// ProgressSnapshot is the wire form of a run's live progress.
+type ProgressSnapshot struct {
+	Done           int64   `json:"done"`
+	Total          int64   `json:"total"`
+	Cached         int64   `json:"cached"`
+	Simulated      int64   `json:"simulated"`
+	Running        bool    `json:"running"`
+	ElapsedSeconds float64 `json:"elapsedSeconds"`
+}
+
+// Snapshot returns the tracker's current state.
+func (p *ProgressTracker) Snapshot() ProgressSnapshot {
+	s := ProgressSnapshot{
+		Done:   p.done.Load(),
+		Total:  p.total.Load(),
+		Cached: p.cached.Load(),
+	}
+	s.Simulated = s.Done - s.Cached
+	if start := p.startNS.Load(); start != 0 {
+		end := p.doneAt.Load()
+		s.Running = end == 0
+		if end == 0 {
+			end = time.Now().UnixNano()
+		}
+		s.ElapsedSeconds = float64(end-start) / 1e9
+	}
+	return s
+}
+
+// Handler serves the observability surface:
+//
+//	/metrics   — the registry snapshot as JSON
+//	/progress  — the live sweep progress as JSON
+//	/debug/pprof/...  — the standard Go profiler endpoints
+//
+// reg and prog may each be nil; the corresponding endpoint then serves
+// an empty object. This handler is the observable skeleton a
+// long-running sweep coordinator grows from: point it at a listener for
+// the lifetime of the work.
+func Handler(reg *Registry, prog *ProgressTracker) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		var s Snapshot
+		if reg != nil {
+			s = reg.Snapshot()
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, r *http.Request) {
+		var s ProgressSnapshot
+		if prog != nil {
+			s = prog.Snapshot()
+		}
+		writeJSON(w, s)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) // a lost client is not a server error; nothing to do
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func getJSON(t *testing.T, url string, into any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("GET %s: Content-Type = %q", url, ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		t.Fatalf("GET %s: bad JSON %q: %v", url, body, err)
+	}
+}
+
+func TestHandlerServesMetricsAndProgress(t *testing.T) {
+	reg := New()
+	reg.Counter("sweep.points.simulated").Add(7)
+	reg.Histogram("sweep.point.simulate").Observe(3 * time.Millisecond)
+	var prog ProgressTracker
+	prog.Start(10)
+	prog.Observe(4, 10, true)
+	prog.Observe(5, 10, false)
+
+	srv := httptest.NewServer(Handler(reg, &prog))
+	defer srv.Close()
+
+	var m Snapshot
+	getJSON(t, srv.URL+"/metrics", &m)
+	if m.Counters["sweep.points.simulated"] != 7 {
+		t.Errorf("/metrics counters = %+v", m.Counters)
+	}
+	if h := m.Histograms["sweep.point.simulate"]; h.Count != 1 || h.MaxS < 0.002 {
+		t.Errorf("/metrics histogram = %+v", h)
+	}
+
+	var p ProgressSnapshot
+	getJSON(t, srv.URL+"/progress", &p)
+	if p.Done != 5 || p.Total != 10 || p.Cached != 1 || p.Simulated != 4 || !p.Running {
+		t.Errorf("/progress = %+v", p)
+	}
+	if p.ElapsedSeconds < 0 {
+		t.Errorf("elapsed = %g, want >= 0", p.ElapsedSeconds)
+	}
+
+	// Completion flips Running off and freezes the clock.
+	prog.Observe(10, 10, false)
+	getJSON(t, srv.URL+"/progress", &p)
+	if p.Done != 10 || p.Running {
+		t.Errorf("finished /progress = %+v", p)
+	}
+
+	// pprof rides along.
+	resp, err := http.Get(srv.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline: %s", resp.Status)
+	}
+}
+
+func TestHandlerNilBackends(t *testing.T) {
+	srv := httptest.NewServer(Handler(nil, nil))
+	defer srv.Close()
+	var m Snapshot
+	getJSON(t, srv.URL+"/metrics", &m)
+	var p ProgressSnapshot
+	getJSON(t, srv.URL+"/progress", &p)
+	if p.Done != 0 || p.Running {
+		t.Errorf("nil-tracker /progress = %+v", p)
+	}
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"time"
+)
+
+// Journal is a JSONL run-journal writer: one self-contained JSON object
+// per line, each carrying the event name and the seconds elapsed since
+// the journal was opened, plus caller-supplied fields. Lines are
+// serialized under a mutex, so a journal can be shared by a sweep's
+// whole worker pool; keys render sorted (encoding/json map order), so
+// the field layout is stable for downstream tooling.
+//
+// A journal is an out-of-band trace: nothing it records feeds back into
+// results, hashes or stores.
+type Journal struct {
+	mu    sync.Mutex
+	w     io.Writer
+	start time.Time
+	err   error // first write error, sticky
+}
+
+// NewJournal starts a journal writing to w. The caller owns w's
+// lifetime (close the file after the run; Journal never closes it).
+func NewJournal(w io.Writer) *Journal {
+	return &Journal{w: w, start: time.Now()}
+}
+
+// Emit writes one event line with the given fields. The reserved keys
+// "event" and "t" (elapsed seconds, microsecond resolution) are set by
+// the journal and override same-named fields. Emit never fails the
+// caller: the first write error is remembered and returned by Err, and
+// later emits become no-ops.
+func (j *Journal) Emit(event string, fields map[string]any) {
+	if j == nil {
+		return
+	}
+	line := make(map[string]any, len(fields)+2)
+	for k, v := range fields {
+		line[k] = v
+	}
+	line["event"] = event
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	line["t"] = math.Round(time.Since(j.start).Seconds()*1e6) / 1e6
+	if j.err != nil {
+		return
+	}
+	b, err := json.Marshal(line)
+	if err != nil {
+		j.err = fmt.Errorf("telemetry: journal marshal: %w", err)
+		return
+	}
+	b = append(b, '\n')
+	if _, err := j.w.Write(b); err != nil {
+		j.err = fmt.Errorf("telemetry: journal write: %w", err)
+	}
+}
+
+// Err returns the first write or marshal error the journal swallowed,
+// or nil. Check it once after the run; a journal is best-effort
+// observability and must never fail the work it observes.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}

@@ -1,0 +1,119 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestJournalEmitsOneJSONObjectPerLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit("start", map[string]any{"configs": 3})
+	j.Emit("point", map[string]any{"i": 1, "cached": false})
+	j.Emit("end", nil)
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var events []string
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		ev, _ := line["event"].(string)
+		events = append(events, ev)
+		if _, ok := line["t"].(float64); !ok {
+			t.Errorf("line %q missing elapsed time", sc.Text())
+		}
+	}
+	if want := []string{"start", "point", "end"}; strings.Join(events, ",") != strings.Join(want, ",") {
+		t.Errorf("events = %v, want %v", events, want)
+	}
+}
+
+func TestJournalReservedKeysWin(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	j.Emit("real", map[string]any{"event": "spoofed", "t": "spoofed"})
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatal(err)
+	}
+	if line["event"] != "real" {
+		t.Errorf("event = %v, want the journal's", line["event"])
+	}
+	if _, ok := line["t"].(float64); !ok {
+		t.Errorf("t = %v, want the journal's elapsed seconds", line["t"])
+	}
+}
+
+type failWriter struct{ n int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.n--
+	return len(p), nil
+}
+
+func TestJournalSwallowsWriteErrors(t *testing.T) {
+	j := NewJournal(&failWriter{n: 1})
+	j.Emit("ok", nil)
+	if err := j.Err(); err != nil {
+		t.Fatalf("first emit failed: %v", err)
+	}
+	j.Emit("boom", nil) // must not panic or block
+	j.Emit("after", nil)
+	if err := j.Err(); err == nil {
+		t.Error("write error was not remembered")
+	}
+}
+
+func TestJournalNilReceiver(t *testing.T) {
+	var j *Journal
+	j.Emit("noop", nil) // must not panic
+	if err := j.Err(); err != nil {
+		t.Errorf("nil journal err = %v", err)
+	}
+}
+
+// TestJournalConcurrent checks that concurrent emitters produce intact,
+// uninterleaved lines (run under -race for the locking contract).
+func TestJournalConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	j := NewJournal(&buf)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				j.Emit("point", map[string]any{"g": g, "i": i})
+			}
+		}(g)
+	}
+	wg.Wait()
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var line map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("interleaved line %q: %v", sc.Text(), err)
+		}
+		n++
+	}
+	if n != 400 {
+		t.Errorf("journal holds %d lines, want 400", n)
+	}
+}

@@ -1,0 +1,265 @@
+// Package telemetry is the zero-dependency observability substrate:
+// a race-safe metrics registry (counters, gauges, log-bucketed latency
+// histograms) with a JSON snapshot, a JSONL run-journal writer, and an
+// HTTP handler exposing live metrics, sweep progress and pprof.
+//
+// Everything here is carried out-of-band of the simulation results:
+// metrics and journal events never enter config keys, hashes, disk
+// stores or golden-pinned output, so instrumented and uninstrumented
+// runs produce bit-identical results.
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing event count. The zero value is
+// ready to use; all methods are safe for concurrent use.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n < 0 is a caller bug but not checked; counters are
+// convention-monotonic, not enforced).
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous level (worker-pool occupancy, entry counts,
+// byte sizes). The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the level.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the level by n (negative to decrement).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// histBuckets is one bucket per power-of-two nanosecond magnitude:
+// bucket 0 holds zero-duration observations, bucket i>0 holds durations
+// in [2^(i-1), 2^i) ns. 64 buckets cover every int64 duration.
+const histBuckets = 64
+
+// Histogram is a log-bucketed latency histogram: exact count, sum and
+// max, with p50/p95 estimated from power-of-two nanosecond buckets
+// (error bounded by the bucket width, ~sqrt(2)x). The zero value is
+// ready to use; Observe is lock-free and safe for concurrent use.
+type Histogram struct {
+	count   atomic.Int64
+	sumNS   atomic.Int64
+	maxNS   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// Observe records one duration. Negative durations (clock steps) clamp
+// to zero.
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+	for {
+		old := h.maxNS.Load()
+		if ns <= old || h.maxNS.CompareAndSwap(old, ns) {
+			break
+		}
+	}
+	h.buckets[bits.Len64(uint64(ns))%histBuckets].Add(1)
+}
+
+// HistogramSnapshot is a histogram's point-in-time summary in seconds.
+// P50/P95 are log-bucket estimates (geometric bucket midpoints), capped
+// at the exact Max.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	SumS  float64 `json:"sumSeconds"`
+	P50S  float64 `json:"p50Seconds"`
+	P95S  float64 `json:"p95Seconds"`
+	MaxS  float64 `json:"maxSeconds"`
+}
+
+// Snapshot summarizes the histogram. Concurrent Observe calls make the
+// snapshot approximate (count and buckets are read without a barrier),
+// never invalid.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.count.Load(),
+		SumS:  float64(h.sumNS.Load()) / 1e9,
+		MaxS:  float64(h.maxNS.Load()) / 1e9,
+	}
+	if s.Count == 0 {
+		return s
+	}
+	var counts [histBuckets]int64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+	}
+	s.P50S = math.Min(bucketQuantile(counts[:], s.Count, 0.50), s.MaxS)
+	s.P95S = math.Min(bucketQuantile(counts[:], s.Count, 0.95), s.MaxS)
+	return s
+}
+
+// bucketQuantile estimates the q-quantile in seconds from log2 buckets.
+func bucketQuantile(counts []int64, total int64, q float64) float64 {
+	target := int64(math.Ceil(q * float64(total)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i, c := range counts {
+		cum += c
+		if cum >= target {
+			if i == 0 {
+				return 0
+			}
+			// Geometric midpoint of [2^(i-1), 2^i) ns.
+			return math.Exp2(float64(i)-0.5) / 1e9
+		}
+	}
+	return float64(total) // unreachable unless buckets race behind count
+}
+
+// Registry is a named collection of counters, gauges and histograms,
+// get-or-created on first use so instrumentation sites never pre-declare.
+// All methods are safe for concurrent use; New returns an empty one.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() int64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() int64),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = new(Histogram)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// SetGaugeFunc registers a pull-style gauge evaluated at snapshot time
+// (e.g. a cache's live entry count). The function must be safe to call
+// concurrently; it replaces any previous function under the same name.
+func (r *Registry) SetGaugeFunc(name string, fn func() int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.funcs[name] = fn
+}
+
+// Snapshot is a registry's point-in-time state, JSON-marshalable (maps
+// render with sorted keys, so the wire form is deterministic for a
+// given state).
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]int64             `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every metric. Gauge functions are evaluated inline;
+// concurrent updates make the snapshot approximate, never invalid.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.funcs))
+	for k, v := range r.funcs {
+		funcs[k] = v
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{}
+	if len(counters) > 0 {
+		s.Counters = make(map[string]int64, len(counters))
+		for k, v := range counters {
+			s.Counters[k] = v.Value()
+		}
+	}
+	if len(gauges)+len(funcs) > 0 {
+		s.Gauges = make(map[string]int64, len(gauges)+len(funcs))
+		for k, v := range gauges {
+			s.Gauges[k] = v.Value()
+		}
+		for k, fn := range funcs {
+			s.Gauges[k] = fn()
+		}
+	}
+	if len(hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, v := range hists {
+			s.Histograms[k] = v.Snapshot()
+		}
+	}
+	return s
+}
+
+// SortedKeys returns a map's keys in sorted order — the iteration order
+// human renderers (the -stats table) should use.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -48,6 +48,8 @@ package repro
 import (
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 
 	"repro/internal/dse"
 	"repro/internal/ec"
@@ -57,6 +59,7 @@ import (
 	"repro/internal/mp"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // Architecture selects a point on the paper's acceleration spectrum
@@ -343,6 +346,75 @@ func SweepPointsJSON(points []SweepPoint) ([]byte, error) {
 // frontiers of a point set as machine-readable indented JSON.
 func SweepFrontiersJSON(points []SweepPoint) ([]byte, error) {
 	return dse.FrontierJSONBytes(points)
+}
+
+// Telemetry types, re-exported from internal/telemetry. A Metrics
+// registry attached to SweepOptions.Metrics (optionally propagated into
+// the simulator with EnableSimMetrics) collects counters, gauges and
+// latency histograms out-of-band: results, keys, hashes and store bytes
+// are byte-identical with and without instrumentation.
+type (
+	// Metrics is a race-safe registry of named counters, gauges and
+	// log-bucketed latency histograms.
+	Metrics = telemetry.Registry
+	// MetricsSnapshot is a point-in-time JSON-ready view of a registry.
+	MetricsSnapshot = telemetry.Snapshot
+	// RunJournal appends one JSON object per lifecycle event (sweep
+	// start/point/flush/end) to a writer — an append-only run log.
+	RunJournal = telemetry.Journal
+	// SweepProgressTracker bridges the deterministic SweepOptions.Progress
+	// stream to concurrent readers (e.g. the /progress HTTP endpoint).
+	SweepProgressTracker = telemetry.ProgressTracker
+	// SweepTiming is the out-of-band wall-clock breakdown of one
+	// instrumented sweep (SweepResult.Timing).
+	SweepTiming = dse.SweepTiming
+)
+
+// NewMetrics returns an empty telemetry registry.
+func NewMetrics() *Metrics { return telemetry.New() }
+
+// NewRunJournal returns a journal appending JSONL events to w. Writes
+// are serialized and best-effort: a write error is remembered (Err) but
+// never fails the instrumented work.
+func NewRunJournal(w io.Writer) *RunJournal { return telemetry.NewJournal(w) }
+
+// TelemetryHandler serves a registry and progress tracker over HTTP:
+// /metrics (registry snapshot as JSON), /progress (live sweep progress),
+// and the standard pprof handlers under /debug/pprof/. Either argument
+// may be nil.
+func TelemetryHandler(reg *Metrics, prog *SweepProgressTracker) http.Handler {
+	return telemetry.Handler(reg, prog)
+}
+
+// EnableSimMetrics points the simulator's per-phase instrumentation
+// (profiling-vs-pricing split, assembly cost) at reg; nil disables it.
+// The hook is process-wide because simulation runs under the sweep's
+// memoizing cache — results must not depend on which caller triggered
+// them, so the simulator cannot take per-call telemetry options.
+func EnableSimMetrics(reg *Metrics) { sim.SetMetrics(reg) }
+
+// SweepCacheStats returns the process-wide result cache's cumulative
+// hit/miss counts and current size — every sweep that used the shared
+// cache since process start. Per-sweep accounting lives on SweepResult.
+func SweepCacheStats() (hits, misses uint64, entries int) {
+	c := dse.SharedCache()
+	hits, misses = c.Stats()
+	return hits, misses, c.Len()
+}
+
+// ResetSweepCache drops the process-wide result cache's contents and
+// zeroes its counters, scoping subsequent SweepCacheStats readings to
+// the sweeps that follow.
+func ResetSweepCache() { dse.SharedCache().Reset() }
+
+// RegisterCacheMetrics surfaces the process-wide result cache in a
+// registry as live gauges cache.hits / cache.misses / cache.entries,
+// sampled at snapshot time.
+func RegisterCacheMetrics(reg *Metrics) {
+	c := dse.SharedCache()
+	reg.SetGaugeFunc("cache.hits", func() int64 { h, _ := c.Stats(); return int64(h) })
+	reg.SetGaugeFunc("cache.misses", func() int64 { _, m := c.Stats(); return int64(m) })
+	reg.SetGaugeFunc("cache.entries", func() int64 { return int64(c.Len()) })
 }
 
 // Experiment regenerates one of the paper's tables or figures by
