@@ -320,6 +320,73 @@ func BenchmarkSweepWarmDisk(b *testing.B) {
 	}
 }
 
+// --- Census memoization: the profile-once/price-everywhere split ---
+
+// BenchmarkColdFullSweep measures the full design-space grid from
+// scratch with the census memo on: every distinct (curve, alg, workload)
+// pays one functional profile run, every other configuration prices a
+// memoized census. This is the headline cold-exploration cost.
+func BenchmarkColdFullSweep(b *testing.B) {
+	spec := dse.FullSweep()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim.ResetCensusMemo()
+		cache := dse.NewCache()
+		b.StartTimer()
+		res, err := dse.Sweep(spec, dse.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Configs), "configs")
+		_, misses := sim.CensusMemoStats()
+		b.ReportMetric(float64(misses), "profiles")
+	}
+}
+
+// BenchmarkColdFullSweepNoMemo is the same grid with the memo disabled —
+// the pre-memoization behavior, where every configuration re-executes
+// its functional crypto profile. The ratio against BenchmarkColdFullSweep
+// is the memo's speedup.
+func BenchmarkColdFullSweepNoMemo(b *testing.B) {
+	spec := dse.FullSweep()
+	sim.DisableCensusMemo(true)
+	defer sim.DisableCensusMemo(false)
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		cache := dse.NewCache()
+		b.StartTimer()
+		res, err := dse.Sweep(spec, dse.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Configs), "configs")
+	}
+}
+
+// BenchmarkCensusMemoHit isolates the price-only path: one simulation
+// whose census is already memoized — the marginal cost of every
+// configuration after the first in its census class.
+func BenchmarkCensusMemoHit(b *testing.B) {
+	opt := sim.DefaultOptions()
+	sim.MustRun(sim.WithMonte, "P-256", opt) // warm the memo
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.MustRun(sim.WithMonte, "P-256", opt)
+	}
+}
+
+// BenchmarkCensusProfileMiss is the counterpart: the same simulation
+// forced down the fresh-profile path, as every run priced before
+// memoization existed.
+func BenchmarkCensusProfileMiss(b *testing.B) {
+	opt := sim.DefaultOptions()
+	sim.DisableCensusMemo(true)
+	defer sim.DisableCensusMemo(false)
+	for i := 0; i < b.N; i++ {
+		sim.MustRun(sim.WithMonte, "P-256", opt)
+	}
+}
+
 // BenchmarkConfigKey measures the canonical-key rendering — the inner
 // loop of every cache lookup, dedup and shard-partition decision — so
 // the cost of the registry-driven rendering stays visible against the

@@ -181,7 +181,12 @@ func main() {
 		fmt.Printf("merged %d store(s) into %s: %d results\n",
 			files, repro.SweepStorePath(*cacheDir), entries)
 	case *all:
-		fmt.Print(repro.Experiments())
+		out, err := repro.Experiments()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Print(out)
 	case *exp != "":
 		out, err := repro.Experiment(*exp)
 		if err != nil {

@@ -40,6 +40,11 @@ func printStats(w io.Writer, reg *repro.Metrics, timing *repro.SweepTiming) {
 		if asm := s.Histograms["sim.assemble"]; asm.Count > 0 {
 			fmt.Fprintf(w, "  %-8s %8d %14s %14.2f\n", "assemble", asm.Count, "-", asm.SumS*1e3)
 		}
+		// The census memo is why profile counts sit far below pricing
+		// counts: each hit is a simulation that skipped its crypto
+		// execution entirely and priced a memoized census.
+		fmt.Fprintf(w, "  census memo: %d hits / %d misses (each miss = one profiled crypto execution)\n",
+			s.Counters["sim.census.hits"], s.Counters["sim.census.misses"])
 	}
 
 	if timing != nil {

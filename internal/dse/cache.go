@@ -54,6 +54,12 @@ func (c *Cache) Len() int {
 // read SweepResult.CacheHits/CacheMisses instead; to scope Stats to one
 // sweep, pass a fresh NewCache (or call Reset first, discarding the
 // cached results along with the counters).
+//
+// Error entries are remembered (GetOrRun re-serves a failed config's
+// error without re-running it) but never counted as hits: hits count
+// only successful results served from cache, matching lookup, the
+// journal's per-point cached flag, and -progress tallies. The one miss
+// a failing config costs is the run that discovered the error.
 func (c *Cache) Stats() (hits, misses uint64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -86,11 +92,17 @@ func (c *Cache) lookup(hash string) (sim.Result, bool) {
 // once per canonical configuration, and reports whether it was served
 // from cache. Concurrent callers asking for the same configuration block
 // until the first finishes and then share its result (counted as hits).
+// A remembered error is re-served without re-running the simulation but
+// reports hit=false and moves neither counter (see Stats).
 func (c *Cache) GetOrRun(cfg Config) (res sim.Result, hit bool, err error) {
 	h := cfg.Hash()
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[h]; ok {
+			if e.err != nil {
+				c.mu.Unlock()
+				return e.res, false, e.err
+			}
 			c.hits++
 			c.mu.Unlock()
 			return e.res, true, e.err

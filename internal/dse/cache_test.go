@@ -1,0 +1,140 @@
+package dse
+
+import (
+	"bytes"
+	"os"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestCacheErrorEntriesNotHits pins GetOrRun's error-entry contract: a
+// failed configuration is remembered (the simulation never re-runs) and
+// its error re-served, but a remembered error is neither a hit nor a
+// fresh miss — hits count only successful results served from cache, so
+// SweepResult accounting, the journal's cached flags and -progress
+// tallies stay truthful.
+func TestCacheErrorEntriesNotHits(t *testing.T) {
+	c := NewCache()
+	bad := Config{Arch: sim.WithMonte, Curve: "B-163"} // prime accel, binary curve
+
+	_, hit, err := c.GetOrRun(bad)
+	if err == nil {
+		t.Fatal("Monte on a binary curve should fail")
+	}
+	if hit {
+		t.Error("discovering run reported hit=true")
+	}
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Errorf("after discovering run: %d hits / %d misses, want 0 / 1", h, m)
+	}
+
+	_, hit, err2 := c.GetOrRun(bad)
+	if err2 == nil || err2.Error() != err.Error() {
+		t.Fatalf("re-served error = %v, want remembered %v", err2, err)
+	}
+	if hit {
+		t.Error("remembered error reported hit=true")
+	}
+	if h, m := c.Stats(); h != 0 || m != 1 {
+		t.Errorf("re-serving an error moved the counters: %d hits / %d misses, want 0 / 1", h, m)
+	}
+
+	// A successful config still counts normally next to the error entry.
+	good := Config{Arch: sim.Baseline, Curve: "P-192"}
+	if _, hit, err := c.GetOrRun(good); err != nil || hit {
+		t.Fatalf("first good run: hit=%t err=%v, want false/nil", hit, err)
+	}
+	if _, hit, err := c.GetOrRun(good); err != nil || !hit {
+		t.Fatalf("second good run: hit=%t err=%v, want true/nil", hit, err)
+	}
+	if h, m := c.Stats(); h != 1 || m != 2 {
+		t.Errorf("final counters = %d hits / %d misses, want 1 / 2", h, m)
+	}
+}
+
+// TestSweepStoreBytesUnchangedByCensusMemo is the tentpole's disk-level
+// bit-exactness pin: the v2 store a sweep flushes must be byte-for-byte
+// identical whether censuses come from the memo or from fresh profile
+// runs. Keys, hashes and every serialized result ride on this.
+func TestSweepStoreBytesUnchangedByCensusMemo(t *testing.T) {
+	spec := SweepSpec{
+		Archs:       []sim.Arch{sim.Baseline, sim.WithMonte, sim.WithBillie},
+		Curves:      []string{"P-192", "B-163"},
+		MonteWidths: []int{16, 32},
+		Workloads:   []string{"sign-verify", "handshake"},
+	}
+
+	sim.ResetCensusMemo()
+	defer sim.ResetCensusMemo()
+	memoDir := t.TempDir()
+	memoRes, err := Sweep(spec, SweepOptions{Cache: NewCache(), CacheDir: memoDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim.DisableCensusMemo(true)
+	defer sim.DisableCensusMemo(false)
+	freshDir := t.TempDir()
+	freshRes, err := Sweep(spec, SweepOptions{Cache: NewCache(), CacheDir: freshDir})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(memoRes.Points) != len(freshRes.Points) {
+		t.Fatalf("point counts differ: %d vs %d", len(memoRes.Points), len(freshRes.Points))
+	}
+	for i := range memoRes.Points {
+		m, f := memoRes.Points[i], freshRes.Points[i]
+		if m.Config.Hash() != f.Config.Hash() {
+			t.Errorf("point %d: hash %s (memo) != %s (fresh)", i, m.Config.Hash(), f.Config.Hash())
+		}
+		if m.EnergyJ != f.EnergyJ || m.TimeS != f.TimeS {
+			t.Errorf("point %d: memo (%g J, %g s) != fresh (%g J, %g s)",
+				i, m.EnergyJ, m.TimeS, f.EnergyJ, f.TimeS)
+		}
+	}
+
+	memoBytes, err := os.ReadFile(DiskCachePath(memoDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	freshBytes, err := os.ReadFile(DiskCachePath(freshDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(memoBytes, freshBytes) {
+		t.Errorf("store bytes differ with the census memo on vs off (%d vs %d bytes)",
+			len(memoBytes), len(freshBytes))
+	}
+}
+
+// TestSweepHammersCensusMemo runs a parallel sweep against a cold census
+// memo (under -race in CI): many workers racing on a handful of census
+// keys must profile each key exactly once and price everything else from
+// the memo.
+func TestSweepHammersCensusMemo(t *testing.T) {
+	sim.ResetCensusMemo()
+	defer sim.ResetCensusMemo()
+
+	spec := SweepSpec{
+		Archs:        []sim.Arch{sim.WithMonte},
+		Curves:       []string{"P-192"},
+		MonteWidths:  []int{8, 16, 32, 64},
+		DoubleBuffer: []bool{true, false},
+		Workloads:    []string{"sign-verify", "ecdh"},
+	}
+	res, err := Sweep(spec, SweepOptions{Cache: NewCache(), Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One census per (curve, alg, workload): one curve, one alg family,
+	// two workloads -> two profile runs; every other config is a memo hit.
+	hits, misses := sim.CensusMemoStats()
+	if misses != 2 {
+		t.Errorf("census misses = %d, want 2 (one per workload)", misses)
+	}
+	if want := uint64(len(res.Points)) - misses; hits != want {
+		t.Errorf("census hits = %d, want %d (every other config memo-served)", hits, want)
+	}
+}

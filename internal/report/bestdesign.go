@@ -13,7 +13,7 @@ import (
 // is explored (served from the shared result cache when warm), then the
 // energy-, latency- and EDP-optimal configuration per security level and
 // the overall energy-vs-latency Pareto frontier are reported.
-func BestDesign() string {
+func BestDesign() (string, error) {
 	// The report regenerates the *paper's* evaluation, and the paper
 	// fixes the 16-byte I-cache line of Section 5.3 — so the line axis
 	// stays at its default here even though FullSweep now sweeps it.
@@ -22,7 +22,7 @@ func BestDesign() string {
 	spec.CacheLineBytes = nil
 	res, err := dse.Sweep(spec, dse.SweepOptions{})
 	if err != nil {
-		return "best-design sweep failed: " + err.Error()
+		return "", fmt.Errorf("best-design sweep: %w", err)
 	}
 	var b strings.Builder
 	b.WriteString(header("Best design points (live sweep of the full design space)"))
@@ -48,7 +48,7 @@ func BestDesign() string {
 	}
 	b.WriteString("(paper: the accelerators define the low-energy end of each frontier;\n" +
 		" the ISA extensions with a 4KB cache are the software-side optimum)\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // designLabel renders a design point's configuration compactly.

@@ -1,0 +1,48 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestReportBuilderPropagatesErrors pins the report error contract: an
+// invalid configuration inside a report surfaces as an error from the
+// experiment function instead of panicking the whole process (the
+// pre-builder code called sim.MustRun, so one bad config in one table
+// took down `dse -all` and every embedding caller with it).
+func TestReportBuilderPropagatesErrors(t *testing.T) {
+	var b reportBuilder
+	b.WriteString("header\n")
+
+	good := b.run(sim.Baseline, "P-192", sim.Options{})
+	if b.err != nil {
+		t.Fatalf("valid config errored: %v", b.err)
+	}
+	if good.TotalCycles() == 0 {
+		t.Fatal("valid config returned an empty result")
+	}
+
+	// Monte is a prime-field accelerator; B-163 is binary. Must not panic.
+	bad := b.run(sim.WithMonte, "B-163", sim.Options{})
+	if b.err == nil {
+		t.Fatal("invalid config did not set the builder error")
+	}
+	first := b.err
+	if bad.TotalCycles() != 0 {
+		t.Error("failed run returned a non-zero result")
+	}
+
+	// Once errored, later runs are skipped and the first error is kept.
+	skipped := b.run(sim.Baseline, "P-224", sim.Options{})
+	if skipped.TotalCycles() != 0 {
+		t.Error("post-error run simulated instead of short-circuiting")
+	}
+	if b.err != first {
+		t.Errorf("first error not preserved: %v", b.err)
+	}
+	if !strings.Contains(b.String(), "header") {
+		t.Error("builder output lost")
+	}
+}

@@ -17,7 +17,7 @@ import (
 // take quadratically more Equation 5.2 cycles) is shown end to end at
 // the full-system ECDSA level, alongside the paper's own synthesis
 // numbers that calibrate the model.
-func FFAUWidthStudy() string {
+func FFAUWidthStudy() (string, error) {
 	spec := dse.SweepSpec{
 		Archs:       []sim.Arch{sim.WithMonte},
 		Curves:      []string{"P-192", "P-256", "P-384"},
@@ -25,7 +25,7 @@ func FFAUWidthStudy() string {
 	}
 	res, err := dse.Sweep(spec, dse.SweepOptions{})
 	if err != nil {
-		return "ffau width sweep failed: " + err.Error()
+		return "", fmt.Errorf("ffau width sweep: %w", err)
 	}
 
 	var b strings.Builder
@@ -61,7 +61,7 @@ func FFAUWidthStudy() string {
 		" power grows with area; at the system level Pete's stall power makes the\n" +
 		" shorter runtime win, so the full-system optimum sits wider than the\n" +
 		" FFAU-only optimum of Table 7.4)\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // keySizeOf maps a prime curve name to its Table 7.3 key size.

@@ -28,8 +28,8 @@ func normalize(s string) string {
 	return volatileLine.ReplaceAllString(s, "N cache hits, N misses")
 }
 
-func goldenExperiments() map[string]func() string {
-	return map[string]func() string{
+func goldenExperiments() map[string]func() (string, error) {
+	return map[string]func() (string, error){
 		"bestdesign": BestDesign,
 		"ffauwidth":  FFAUWidthStudy,
 		"handshake":  HandshakeStudy,
@@ -42,7 +42,11 @@ func TestGoldenReports(t *testing.T) {
 	}
 	for name, fn := range goldenExperiments() {
 		t.Run(name, func(t *testing.T) {
-			got := normalize(fn())
+			out, err := fn()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := normalize(out)
 			path := filepath.Join("testdata", name+".golden")
 			if *update {
 				if err := os.MkdirAll("testdata", 0o755); err != nil {

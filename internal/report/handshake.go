@@ -18,7 +18,7 @@ import (
 // where the handshake budget actually goes — the deployment question the
 // paper's introduction motivates (session-key establishment amortizing
 // asymmetric crypto over a symmetric session).
-func HandshakeStudy() string {
+func HandshakeStudy() (string, error) {
 	spec := dse.SweepSpec{
 		Archs:     dse.AllArchs(),
 		Curves:    []string{"P-192", "B-163", "P-256", "B-283"},
@@ -26,7 +26,7 @@ func HandshakeStudy() string {
 	}
 	res, err := dse.Sweep(spec, dse.SweepOptions{})
 	if err != nil {
-		return "handshake sweep failed: " + err.Error()
+		return "", fmt.Errorf("handshake sweep: %w", err)
 	}
 
 	var b strings.Builder
@@ -87,7 +87,7 @@ func HandshakeStudy() string {
 	b.WriteString("(key-gen and ECDH each add roughly one scalar multiplication, so the\n" +
 		" full handshake tracks ~2x the Sign+Verify cost; the software order\n" +
 		" arithmetic keeps its Amdahl share in every scenario)\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // workloadLabel renders a point's design without the workload token

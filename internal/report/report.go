@@ -7,6 +7,7 @@ package report
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"repro/internal/billie"
@@ -15,6 +16,29 @@ import (
 	"repro/internal/monte"
 	"repro/internal/sim"
 )
+
+// reportBuilder is a strings.Builder that also runs simulations,
+// remembering the first failure. Renderers keep building rows as plain
+// expressions (a failed run yields zero-value rows that are discarded
+// with the output), and return the accumulated error at the end — so an
+// invalid configuration surfaces as a usable error from ByName/All
+// instead of a sim.MustRun panic tearing down the whole process.
+type reportBuilder struct {
+	strings.Builder
+	err error
+}
+
+// run simulates one configuration, recording the first error.
+func (b *reportBuilder) run(a sim.Arch, curve string, opt sim.Options) sim.Result {
+	if b.err != nil {
+		return sim.Result{}
+	}
+	r, err := sim.Run(a, curve, opt)
+	if err != nil {
+		b.err = err
+	}
+	return r
+}
 
 // uJ formats Joules as microjoules.
 func uJ(j float64) string { return fmt.Sprintf("%8.2f", j*1e6) }
@@ -29,176 +53,176 @@ func header(title string) string {
 
 // Fig7_1 is energy per Sign+Verify vs prime key size for the four prime
 // microarchitectures.
-func Fig7_1() string {
-	var b strings.Builder
+func Fig7_1() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.1: Energy per Sign+Verify vs key size (prime fields, uJ)"))
 	fmt.Fprintf(&b, "%-8s %12s %12s %16s %12s\n", "curve", "baseline", "isa-ext", "isa-ext+4KB-IC", "monte")
 	opt := sim.DefaultOptions()
 	for _, c := range ec.PrimeCurveNames {
-		base := sim.MustRun(sim.Baseline, c, opt)
-		ext := sim.MustRun(sim.ISAExt, c, opt)
-		ic := sim.MustRun(sim.ISAExtCache, c, opt)
-		mo := sim.MustRun(sim.WithMonte, c, opt)
+		base := b.run(sim.Baseline, c, opt)
+		ext := b.run(sim.ISAExt, c, opt)
+		ic := b.run(sim.ISAExtCache, c, opt)
+		mo := b.run(sim.WithMonte, c, opt)
 		fmt.Fprintf(&b, "%-8s %12s %12s %16s %12s\n", c,
 			uJ(base.TotalEnergy()), uJ(ext.TotalEnergy()),
 			uJ(ic.TotalEnergy()), uJ(mo.TotalEnergy()))
 	}
 	b.WriteString("factors vs baseline:\n")
-	base192 := sim.MustRun(sim.Baseline, "P-192", opt).TotalEnergy()
+	base192 := b.run(sim.Baseline, "P-192", opt).TotalEnergy()
 	fmt.Fprintf(&b, "  P-192: isa-ext %.2fx, monte %.2fx (paper: 1.32-1.45x, 5.17-6.34x)\n",
-		base192/sim.MustRun(sim.ISAExt, "P-192", opt).TotalEnergy(),
-		base192/sim.MustRun(sim.WithMonte, "P-192", opt).TotalEnergy())
-	return b.String()
+		base192/b.run(sim.ISAExt, "P-192", opt).TotalEnergy(),
+		base192/b.run(sim.WithMonte, "P-192", opt).TotalEnergy())
+	return b.String(), b.err
 }
 
-func breakdownRow(b *strings.Builder, label string, bd energy.Breakdown) {
+func breakdownRow(b io.Writer, label string, bd energy.Breakdown) {
 	fmt.Fprintf(b, "%-22s %9s %9s %9s %9s %9s %10s\n", label,
 		uJ(bd.Pete), uJ(bd.ROM), uJ(bd.RAM), uJ(bd.Uncore), uJ(bd.Accel), uJ(bd.Total()))
 }
 
-func breakdownHeader(b *strings.Builder) {
+func breakdownHeader(b io.Writer) {
 	fmt.Fprintf(b, "%-22s %9s %9s %9s %9s %9s %10s\n",
 		"config", "Pete", "ROM", "RAM", "uncore", "accel", "total")
 }
 
 // Fig7_2 is the per-component energy breakdown for 192- and 256-bit keys
 // across the prime microarchitectures.
-func Fig7_2() string {
-	var b strings.Builder
+func Fig7_2() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.2: Energy breakdown per Sign+Verify (uJ)"))
 	opt := sim.DefaultOptions()
 	for _, c := range []string{"P-192", "P-256"} {
 		fmt.Fprintf(&b, "[%s]\n", c)
 		breakdownHeader(&b)
 		for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte} {
-			r := sim.MustRun(a, c, opt)
+			r := b.run(a, c, opt)
 			breakdownRow(&b, a.String(), r.CombinedBreakdown())
 		}
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_3 is the baseline breakdown across the five prime fields.
-func Fig7_3() string {
-	var b strings.Builder
+func Fig7_3() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.3: Baseline energy breakdown vs key size (uJ)"))
 	breakdownHeader(&b)
 	opt := sim.DefaultOptions()
 	for _, c := range ec.PrimeCurveNames {
-		r := sim.MustRun(sim.Baseline, c, opt)
+		r := b.run(sim.Baseline, c, opt)
 		breakdownRow(&b, c, r.CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_4 is the ISA-extended and Monte breakdowns across prime fields.
-func Fig7_4() string {
-	var b strings.Builder
+func Fig7_4() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.4: ISA-ext (a) and Monte (b) breakdown vs key size (uJ)"))
 	opt := sim.DefaultOptions()
 	b.WriteString("(a) ISA extended\n")
 	breakdownHeader(&b)
 	for _, c := range ec.PrimeCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.ISAExt, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.ISAExt, c, opt).CombinedBreakdown())
 	}
 	b.WriteString("(b) with Monte\n")
 	breakdownHeader(&b)
 	for _, c := range ec.PrimeCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.WithMonte, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.WithMonte, c, opt).CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_5 compares binary-field software against binary ISA extensions.
-func Fig7_5() string {
-	var b strings.Builder
+func Fig7_5() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.5: Energy per Sign+Verify vs key size (binary fields, uJ)"))
 	fmt.Fprintf(&b, "%-8s %14s %14s %8s\n", "curve", "software-only", "binary-isa", "factor")
 	opt := sim.DefaultOptions()
 	for _, c := range ec.BinaryCurveNames {
-		sw := sim.MustRun(sim.Baseline, c, opt)
-		ext := sim.MustRun(sim.ISAExt, c, opt)
+		sw := b.run(sim.Baseline, c, opt)
+		ext := b.run(sim.ISAExt, c, opt)
 		fmt.Fprintf(&b, "%-8s %14s %14s %7.2fx\n", c,
 			uJ(sw.TotalEnergy()), uJ(ext.TotalEnergy()),
 			sw.TotalEnergy()/ext.TotalEnergy())
 	}
 	b.WriteString("(paper: software-only is 6.40-8.46x worse)\n")
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_6 is the binary ISA-extension breakdown across binary fields.
-func Fig7_6() string {
-	var b strings.Builder
+func Fig7_6() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.6: Binary ISA-ext energy breakdown vs key size (uJ)"))
 	breakdownHeader(&b)
 	opt := sim.DefaultOptions()
 	for _, c := range ec.BinaryCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.ISAExt, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.ISAExt, c, opt).CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_7 compares prime and binary fields at equivalent security,
 // including the two accelerators.
-func Fig7_7() string {
-	var b strings.Builder
+func Fig7_7() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.7: Prime vs binary fields at equivalent security (uJ)"))
 	fmt.Fprintf(&b, "%-14s %11s %11s %11s %11s %11s %11s\n",
 		"pair", "p-base", "p-isa", "monte", "b-base", "b-isa", "billie")
 	opt := sim.DefaultOptions()
 	for _, pair := range ec.SecurityPairs {
-		pb := sim.MustRun(sim.Baseline, pair.Prime, opt)
-		pi := sim.MustRun(sim.ISAExt, pair.Prime, opt)
-		mo := sim.MustRun(sim.WithMonte, pair.Prime, opt)
-		bb := sim.MustRun(sim.Baseline, pair.Binary, opt)
-		bi := sim.MustRun(sim.ISAExt, pair.Binary, opt)
-		bl := sim.MustRun(sim.WithBillie, pair.Binary, opt)
+		pb := b.run(sim.Baseline, pair.Prime, opt)
+		pi := b.run(sim.ISAExt, pair.Prime, opt)
+		mo := b.run(sim.WithMonte, pair.Prime, opt)
+		bb := b.run(sim.Baseline, pair.Binary, opt)
+		bi := b.run(sim.ISAExt, pair.Binary, opt)
+		bl := b.run(sim.WithBillie, pair.Binary, opt)
 		fmt.Fprintf(&b, "%-14s %11s %11s %11s %11s %11s %11s\n",
 			pair.Prime+"/"+pair.Binary,
 			uJ(pb.TotalEnergy()), uJ(pi.TotalEnergy()), uJ(mo.TotalEnergy()),
 			uJ(bb.TotalEnergy()), uJ(bi.TotalEnergy()), uJ(bl.TotalEnergy()))
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_8 is the Monte and Billie breakdowns side by side.
-func Fig7_8() string {
-	var b strings.Builder
+func Fig7_8() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.8: Energy breakdown, Monte (left) and Billie (right) (uJ)"))
 	opt := sim.DefaultOptions()
 	b.WriteString("Monte (prime fields)\n")
 	breakdownHeader(&b)
 	for _, c := range ec.PrimeCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.WithMonte, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.WithMonte, c, opt).CombinedBreakdown())
 	}
 	b.WriteString("Billie (binary fields)\n")
 	breakdownHeader(&b)
 	for _, c := range ec.BinaryCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.WithBillie, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.WithBillie, c, opt).CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_9 is the accelerated-architecture breakdown at the 192/163 and
 // 256/283 security levels.
-func Fig7_9() string {
-	var b strings.Builder
+func Fig7_9() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.9: Accelerated breakdowns at 192/163 and 256/283 (uJ)"))
 	opt := sim.DefaultOptions()
 	for i, pair := range []struct{ p, bn string }{{"P-192", "B-163"}, {"P-256", "B-283"}} {
 		fmt.Fprintf(&b, "[level %d: %s / %s]\n", i+1, pair.p, pair.bn)
 		breakdownHeader(&b)
-		breakdownRow(&b, "p-isa "+pair.p, sim.MustRun(sim.ISAExt, pair.p, opt).CombinedBreakdown())
-		breakdownRow(&b, "monte "+pair.p, sim.MustRun(sim.WithMonte, pair.p, opt).CombinedBreakdown())
-		breakdownRow(&b, "b-isa "+pair.bn, sim.MustRun(sim.ISAExt, pair.bn, opt).CombinedBreakdown())
-		breakdownRow(&b, "billie "+pair.bn, sim.MustRun(sim.WithBillie, pair.bn, opt).CombinedBreakdown())
+		breakdownRow(&b, "p-isa "+pair.p, b.run(sim.ISAExt, pair.p, opt).CombinedBreakdown())
+		breakdownRow(&b, "monte "+pair.p, b.run(sim.WithMonte, pair.p, opt).CombinedBreakdown())
+		breakdownRow(&b, "b-isa "+pair.bn, b.run(sim.ISAExt, pair.bn, opt).CombinedBreakdown())
+		breakdownRow(&b, "billie "+pair.bn, b.run(sim.WithBillie, pair.bn, opt).CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_10 is average static and dynamic power per microarchitecture.
-func Fig7_10() string {
-	var b strings.Builder
+func Fig7_10() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.10: Static and dynamic power of evaluated microarchitectures (mW)"))
 	fmt.Fprintf(&b, "%-22s %9s %9s %9s\n", "config", "static", "dynamic", "total")
 	opt := sim.DefaultOptions()
@@ -216,16 +240,16 @@ func Fig7_10() string {
 		{"billie-571", sim.WithBillie, "B-571"},
 	}
 	for _, row := range rows {
-		r := sim.MustRun(row.arch, row.curve, opt)
+		r := b.run(row.arch, row.curve, opt)
 		fmt.Fprintf(&b, "%-22s %9.2f %9.2f %9.2f\n", row.label,
 			r.Power.StaticW*1e3, r.Power.DynamicW*1e3, r.Power.Total()*1e3)
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_11 is the ideal-instruction-cache energy improvement.
-func Fig7_11() string {
-	var b strings.Builder
+func Fig7_11() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.11: Energy improvement with ideal instruction cache"))
 	fmt.Fprintf(&b, "%-8s %10s %10s %10s\n", "curve", "baseline", "isa-ext", "monte")
 	ideal := sim.DefaultOptions()
@@ -233,20 +257,20 @@ func Fig7_11() string {
 	real := sim.DefaultOptions()
 	for _, c := range []string{"P-192", "P-256", "P-384"} {
 		imp := func(a, ac sim.Arch) float64 {
-			return sim.MustRun(a, c, real).TotalEnergy() /
-				sim.MustRun(ac, c, ideal).TotalEnergy()
+			return b.run(a, c, real).TotalEnergy() /
+				b.run(ac, c, ideal).TotalEnergy()
 		}
 		fmt.Fprintf(&b, "%-8s %9.2fx %9.2fx %9.2fx\n", c,
 			imp(sim.Baseline, sim.BaselineCache),
 			imp(sim.ISAExt, sim.ISAExtCache),
 			imp(sim.WithMonte, sim.MonteCache))
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_12 sweeps real instruction-cache configurations at 192-bit.
-func Fig7_12() string {
-	var b strings.Builder
+func Fig7_12() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.12: Energy per 192-bit Sign+Verify vs I-cache configuration (uJ)"))
 	breakdownHeader(&b)
 	for _, kb := range []int{1, 2, 4, 8} {
@@ -258,29 +282,29 @@ func Fig7_12() string {
 			if pf {
 				label += "-p"
 			}
-			r := sim.MustRun(sim.ISAExtCache, "P-192", o)
+			r := b.run(sim.ISAExtCache, "P-192", o)
 			breakdownRow(&b, label, r.CombinedBreakdown())
 		}
 	}
 	b.WriteString("(paper: 4KB without prefetcher is energy-optimal)\n")
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_13 is the prime ISA-ext + 4KB cache breakdown across key sizes.
-func Fig7_13() string {
-	var b strings.Builder
+func Fig7_13() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Figure 7.13: ISA-ext + 4KB I-cache breakdown vs key size (uJ)"))
 	breakdownHeader(&b)
 	opt := sim.DefaultOptions()
 	for _, c := range ec.PrimeCurveNames {
-		breakdownRow(&b, c, sim.MustRun(sim.ISAExtCache, c, opt).CombinedBreakdown())
+		breakdownRow(&b, c, b.run(sim.ISAExtCache, c, opt).CombinedBreakdown())
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Fig7_14 compares Billie's 163-bit scalar-multiplication performance
 // against prior work (Guo et al.) across multiplier digit sizes.
-func Fig7_14() string {
+func Fig7_14() (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Figure 7.14: 163-bit scalar point multiply vs digit size (cycles)"))
 	fmt.Fprintf(&b, "%-6s %16s %16s\n", "digit", "sliding-window", "montgomery")
@@ -296,12 +320,12 @@ func Fig7_14() string {
 	bl := billie.New(billie.Config{FieldName: "B-163", Digit: 3})
 	fmt.Fprintf(&b, "our sliding-window at the energy-optimal D=3: %d cycles (paper: outperforms prior work)\n",
 		bl.ScalarMultCycles("sliding-window"))
-	return b.String()
+	return b.String(), nil
 }
 
 // Fig7_15 is energy per Montgomery multiplication vs FFAU datapath width,
 // with the ARM Cortex-M3 reference (Table 7.5).
-func Fig7_15() string {
+func Fig7_15() (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Figure 7.15: Energy per Montgomery multiplication vs datapath width (nJ)"))
 	fmt.Fprintf(&b, "%-6s %10s %10s %10s\n", "width", "192-bit", "256-bit", "384-bit")
@@ -319,7 +343,7 @@ func Fig7_15() string {
 		fmt.Fprintf(&b, " %10.3f", energy.ARMCortexM3PowerW*t*1e9)
 	}
 	b.WriteString("   (Cortex-M3 reference)\n")
-	return b.String()
+	return b.String(), nil
 }
 
 // FFAUMontMul returns (avg power W, exec time s, energy J) for one CIOS
@@ -335,39 +359,39 @@ func FFAUMontMul(bits, width int) (powerW, timeS, energyJ float64) {
 }
 
 // Table7_1 is latency per operation for the prime microarchitectures.
-func Table7_1() string {
-	var b strings.Builder
+func Table7_1() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Table 7.1: Latency per operation (100K clock cycles), prime fields"))
 	fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", "uarch", "curve", "sign", "verify", "sign+ver")
 	opt := sim.DefaultOptions()
 	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.WithMonte} {
 		for _, c := range ec.PrimeCurveNames {
-			r := sim.MustRun(a, c, opt)
+			r := b.run(a, c, opt)
 			fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", a, c,
 				k100(r.SignCycles()), k100(r.VerifyCycles()), k100(r.TotalCycles()))
 		}
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Table7_2 is latency per operation for the binary microarchitectures.
-func Table7_2() string {
-	var b strings.Builder
+func Table7_2() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Table 7.2: Latency per operation (100K clock cycles), binary fields"))
 	fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", "uarch", "curve", "sign", "verify", "sign+ver")
 	opt := sim.DefaultOptions()
 	for _, a := range []sim.Arch{sim.Baseline, sim.ISAExt, sim.WithBillie} {
 		for _, c := range ec.BinaryCurveNames {
-			r := sim.MustRun(a, c, opt)
+			r := b.run(a, c, opt)
 			fmt.Fprintf(&b, "%-12s %-8s %9s %9s %9s\n", a, c,
 				k100(r.SignCycles()), k100(r.VerifyCycles()), k100(r.TotalCycles()))
 		}
 	}
-	return b.String()
+	return b.String(), b.err
 }
 
 // Table7_3 is FFAU area and power vs datapath width.
-func Table7_3() string {
+func Table7_3() (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Table 7.3: FFAU area, static and dynamic power vs datapath width"))
 	fmt.Fprintf(&b, "%-6s %-8s %12s %14s %14s\n", "width", "keysize", "area(cells)", "static(uW)", "dynamic(uW)")
@@ -378,11 +402,11 @@ func Table7_3() string {
 				w, bits, p.AreaCells, p.StaticW*1e6, p.DynamicW*1e6)
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Table7_4 is FFAU power, time and energy per Montgomery multiplication.
-func Table7_4() string {
+func Table7_4() (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Table 7.4: FFAU avg power, execution time, energy per MontMul vs width"))
 	fmt.Fprintf(&b, "%-6s %-8s %12s %12s %12s\n", "width", "keysize", "power(uW)", "time(ns)", "energy(nJ)")
@@ -393,11 +417,11 @@ func Table7_4() string {
 				w, bits, p*1e6, t*1e9, e*1e9)
 		}
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // Table7_5 is the ARM Cortex-M3 comparator.
-func Table7_5() string {
+func Table7_5() (string, error) {
 	var b strings.Builder
 	b.WriteString(header("Table 7.5: ARM Cortex-M3 power and energy per modular multiplication"))
 	fmt.Fprintf(&b, "%-8s %12s %12s %12s\n", "keysize", "time(ns)", "power(uW)", "energy(nJ)")
@@ -407,31 +431,31 @@ func Table7_5() string {
 		fmt.Fprintf(&b, "%-8d %12.0f %12.0f %12.1f\n",
 			bits, t, energy.ARMCortexM3PowerW*1e6, e*1e9)
 	}
-	return b.String()
+	return b.String(), nil
 }
 
 // DoubleBufferStudy is the §7.7 ablation.
-func DoubleBufferStudy() string {
-	var b strings.Builder
+func DoubleBufferStudy() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Section 7.7: Double-buffer ablation (Monte)"))
 	on := sim.DefaultOptions()
 	off := sim.DefaultOptions()
 	off.DoubleBuffer = false
 	for _, c := range []string{"P-192", "P-384"} {
-		e1 := sim.MustRun(sim.WithMonte, c, on).TotalEnergy()
-		e0 := sim.MustRun(sim.WithMonte, c, off).TotalEnergy()
+		e1 := b.run(sim.WithMonte, c, on).TotalEnergy()
+		e0 := b.run(sim.WithMonte, c, off).TotalEnergy()
 		fmt.Fprintf(&b, "%-8s with=%suJ without=%suJ saving=%.1f%%\n",
 			c, uJ(e1), uJ(e0), (1-e1/e0)*100)
 	}
 	b.WriteString("(paper: 9.4% at 192-bit, 13.5% at 384-bit)\n")
-	return b.String()
+	return b.String(), b.err
 }
 
 // GatingStudy is the Chapter 8 future-work experiment: clock/power-gating
 // the accelerators while idle. Billie idles 62% of an ECDSA operation
 // (Section 7.4), so gating recovers a large share of her energy.
-func GatingStudy() string {
-	var b strings.Builder
+func GatingStudy() (string, error) {
+	var b reportBuilder
 	b.WriteString(header("Chapter 8 (future work): accelerator idle gating"))
 	on := sim.DefaultOptions()
 	on.GateAccelIdle = true
@@ -444,30 +468,35 @@ func GatingStudy() string {
 		{sim.WithBillie, "B-163"}, {sim.WithBillie, "B-571"},
 	}
 	for _, row := range rows {
-		e0 := sim.MustRun(row.arch, row.curve, off).TotalEnergy()
-		e1 := sim.MustRun(row.arch, row.curve, on).TotalEnergy()
+		e0 := b.run(row.arch, row.curve, off).TotalEnergy()
+		e1 := b.run(row.arch, row.curve, on).TotalEnergy()
 		fmt.Fprintf(&b, "%-8s %-8s ungated=%suJ gated=%suJ saving=%.1f%%\n",
 			row.arch, row.curve, uJ(e0), uJ(e1), (1-e1/e0)*100)
 	}
 	b.WriteString("(the paper predicts Billie benefits most: idle 62% of each ECDSA op)\n")
-	return b.String()
+	return b.String(), b.err
 }
 
-// All returns every figure and table in order.
-func All() string {
-	parts := []string{
-		Table7_1(), Table7_2(), Table7_3(), Table7_4(), Table7_5(),
-		Fig7_1(), Fig7_2(), Fig7_3(), Fig7_4(), Fig7_5(), Fig7_6(),
-		Fig7_7(), Fig7_8(), Fig7_9(), Fig7_10(), Fig7_11(), Fig7_12(),
-		Fig7_13(), Fig7_14(), Fig7_15(), DoubleBufferStudy(), GatingStudy(),
-		FFAUWidthStudy(), BestDesign(), HandshakeStudy(),
+// All returns every figure and table in order (the Names order). The
+// first experiment that fails aborts the render with its error.
+func All() (string, error) {
+	names := Names()
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		out, _, err := ByName(name)
+		if err != nil {
+			return "", fmt.Errorf("%s: %w", name, err)
+		}
+		parts = append(parts, out)
 	}
-	return strings.Join(parts, "\n")
+	return strings.Join(parts, "\n"), nil
 }
 
 // ByName returns the named experiment output ("7.1", "table7.3", ...).
-func ByName(name string) (string, bool) {
-	m := map[string]func() string{
+// ok reports whether the name is a known experiment; a known experiment
+// that fails to render returns its error instead of panicking.
+func ByName(name string) (out string, ok bool, err error) {
+	m := map[string]func() (string, error){
 		"fig7.1": Fig7_1, "fig7.2": Fig7_2, "fig7.3": Fig7_3,
 		"fig7.4": Fig7_4, "fig7.5": Fig7_5, "fig7.6": Fig7_6,
 		"fig7.7": Fig7_7, "fig7.8": Fig7_8, "fig7.9": Fig7_9,
@@ -483,9 +512,10 @@ func ByName(name string) (string, bool) {
 	}
 	f, ok := m[strings.ToLower(name)]
 	if !ok {
-		return "", false
+		return "", false, nil
 	}
-	return f(), true
+	out, err = f()
+	return out, true, err
 }
 
 // Names lists the available experiment identifiers.

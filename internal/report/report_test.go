@@ -7,9 +7,13 @@ import (
 
 func TestEveryExperimentRenders(t *testing.T) {
 	for _, name := range Names() {
-		out, ok := ByName(name)
+		out, ok, err := ByName(name)
 		if !ok {
 			t.Errorf("%s: not found", name)
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
 			continue
 		}
 		if len(out) < 80 {
@@ -19,7 +23,7 @@ func TestEveryExperimentRenders(t *testing.T) {
 			t.Errorf("%s: no rows", name)
 		}
 	}
-	if _, ok := ByName("fig9.9"); ok {
+	if _, ok, _ := ByName("fig9.9"); ok {
 		t.Error("unknown experiment should not resolve")
 	}
 }
@@ -49,7 +53,10 @@ func TestTable74ReproducesPaperRows(t *testing.T) {
 func TestFig715FFAUBeatsARM(t *testing.T) {
 	// The FFAU must be far more energy-efficient than the Cortex-M3
 	// reference at every key size.
-	out := Fig7_15()
+	out, err := Fig7_15()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !strings.Contains(out, "ARM") {
 		t.Fatal("figure 7.15 missing the ARM reference series")
 	}
@@ -61,7 +68,10 @@ func TestFig715FFAUBeatsARM(t *testing.T) {
 }
 
 func TestTable71ContainsAllRows(t *testing.T) {
-	out := Table7_1()
+	out, err := Table7_1()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{"baseline", "isa-ext", "monte", "P-192", "P-521"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Table 7.1 missing %q", want)
@@ -70,7 +80,10 @@ func TestTable71ContainsAllRows(t *testing.T) {
 }
 
 func TestAllIncludesEverything(t *testing.T) {
-	out := All()
+	out, err := All()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, want := range []string{
 		"Table 7.1", "Table 7.5", "Figure 7.1", "Figure 7.15",
 		"Double-buffer",

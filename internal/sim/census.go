@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The census memo: one functional profile run serves every pricing.
+//
+// A phase's operation census depends only on (curve, multiplication
+// algorithm, workload) — the multiplication algorithm is itself a pure
+// function of the architecture family (OSNIST/PSNIST/CIOS for prime
+// curves, Comb/CLMul for binary) — while every other design-space knob
+// (cache geometry, prefetcher, accelerator widths and digits, gating,
+// line size) only affects how that census is *priced*. A full sweep
+// therefore re-executes the same profiled ECDSA/ECDH run hundreds of
+// times for configs whose censuses are bit-identical. The memo below
+// collapses that: the first Run for a (curve, alg, workload) key pays
+// the functional crypto execution, every later Run prices the memoized
+// census. The memo holds at most curves x algs x workloads entries
+// (a few dozen), regardless of grid size.
+//
+// Bit-exactness: the profilers are deterministic (fixed seeds,
+// RFC-6979-style signing), so a memoized census is byte-for-byte the
+// census a fresh profile run would produce — results, hashes, goldens
+// and store bytes are identical with the memo on or off (pinned by the
+// memo-vs-fresh equivalence tests).
+
+// censusKey identifies one functional profile: the curve, the
+// family-qualified multiplication algorithm, and the workload. Every
+// input that can change a census is in the key; nothing else is.
+type censusKey struct {
+	curve    string
+	alg      string // "prime/<mp.MulAlg>" or "binary/<gf2.MulAlg>"
+	workload string
+}
+
+// censusProfile is one memoized profile run: the per-phase censuses plus
+// the curve parameters the pricing path needs downstream, so serving a
+// memo hit touches no curve construction at all. The phases slice is
+// shared by every pricing that hits the entry and is never mutated.
+type censusProfile struct {
+	phases []profiledPhase
+	k      int // field element size in 32-bit words
+	bits   int // field size in bits (prime: F.Bits; binary: F.M)
+	nbits  int // group-order size in bits
+}
+
+type censusEntry struct {
+	prof censusProfile
+	err  error
+}
+
+// censusCache is the race-safe memo. Concurrent misses on the same key
+// are deduplicated singleflight-style (like dse.Cache.inflight): the
+// first caller profiles, everyone else blocks and shares the entry.
+type censusCache struct {
+	mu       sync.Mutex
+	m        map[censusKey]censusEntry
+	inflight map[censusKey]*sync.WaitGroup
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
+}
+
+var censuses = &censusCache{
+	m:        make(map[censusKey]censusEntry),
+	inflight: make(map[censusKey]*sync.WaitGroup),
+}
+
+// censusMemoOff gates the memo; the equivalence tests flip it to compare
+// memoized pricings against fresh profile runs.
+var censusMemoOff atomic.Bool
+
+// DisableCensusMemo turns the process-wide census memo off (true) or
+// back on (false). With the memo off every Run pays a fresh functional
+// profile execution — the pre-memo behavior, kept reachable so
+// equivalence tests can prove the memo changes nothing but speed.
+func DisableCensusMemo(off bool) { censusMemoOff.Store(off) }
+
+// CensusMemoEnabled reports whether Run serves censuses from the memo.
+func CensusMemoEnabled() bool { return !censusMemoOff.Load() }
+
+// ResetCensusMemo drops every memoized census and zeroes the hit/miss
+// counters, forcing subsequent runs to profile from scratch (cold-sweep
+// benchmarks and census-timing tests use this).
+func ResetCensusMemo() {
+	censuses.mu.Lock()
+	defer censuses.mu.Unlock()
+	censuses.m = make(map[censusKey]censusEntry)
+	censuses.inflight = make(map[censusKey]*sync.WaitGroup)
+	censuses.hits.Store(0)
+	censuses.misses.Store(0)
+}
+
+// CensusMemoStats returns the memo's cumulative hit and miss counts
+// since process start (or the last ResetCensusMemo). The same counts
+// stream into an installed metrics registry as sim.census.hits /
+// sim.census.misses.
+func CensusMemoStats() (hits, misses uint64) {
+	return censuses.hits.Load(), censuses.misses.Load()
+}
+
+// CensusMemoLen returns the number of memoized profiles.
+func CensusMemoLen() int {
+	censuses.mu.Lock()
+	defer censuses.mu.Unlock()
+	return len(censuses.m)
+}
+
+// get returns the memoized profile for key, running the profile function
+// at most once per key. A profile error is remembered and re-served;
+// matching dse.Cache's error-entry semantics, serving a remembered error
+// does not count as a hit (the original failed run still counted as the
+// one miss).
+func (c *censusCache) get(key censusKey, profile func() (censusProfile, error)) (censusProfile, error) {
+	if censusMemoOff.Load() {
+		return profile()
+	}
+	reg := metrics()
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			if e.err == nil {
+				c.hits.Add(1)
+				if reg != nil {
+					reg.Counter("sim.census.hits").Inc()
+				}
+			}
+			return e.prof, e.err
+		}
+		if wg, ok := c.inflight[key]; ok {
+			c.mu.Unlock()
+			wg.Wait()
+			continue // the profiler has published; loop hits the memo
+		}
+		wg := new(sync.WaitGroup)
+		wg.Add(1)
+		c.inflight[key] = wg
+		c.mu.Unlock()
+
+		c.misses.Add(1)
+		if reg != nil {
+			reg.Counter("sim.census.misses").Inc()
+		}
+		prof, err := profile()
+		c.mu.Lock()
+		c.m[key] = censusEntry{prof: prof, err: err}
+		delete(c.inflight, key)
+		c.mu.Unlock()
+		wg.Done()
+		return prof, err
+	}
+}

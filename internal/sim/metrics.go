@@ -11,11 +11,15 @@ import (
 // the hot-path roadmap needs it:
 //
 //	sim.profile.<phase>  — functional crypto execution + op census
-//	                       (identical across configs that differ only
-//	                       in hardware knobs — the memoization target)
+//	                       (recorded only when the census memo misses:
+//	                       a census is identical across configs that
+//	                       differ only in hardware knobs, so one
+//	                       profile run serves hundreds of pricings)
 //	sim.price.<phase>    — census → cycles/events pricing
 //	sim.assemble         — cache model + energy/power assembly per run
 //	sim.run              — whole Run call
+//	sim.census.hits      — censuses served from the memo (counter)
+//	sim.census.misses    — censuses profiled from scratch (counter)
 //
 // Timing is carried entirely out-of-band: nothing here touches
 // sim.Result, so instrumented and uninstrumented runs produce

@@ -20,6 +20,9 @@ func TestRunRecordsCensusVsPricingSplit(t *testing.T) {
 	reg := telemetry.New()
 	SetMetrics(reg)
 	defer SetMetrics(nil)
+	// The plain run above memoized its census; drop it so the
+	// instrumented runs record their profile timings from scratch.
+	ResetCensusMemo()
 
 	instrumented, err := Run(WithMonte, "P-192", Options{Workload: WorkloadHandshake})
 	if err != nil {
@@ -29,19 +32,30 @@ func TestRunRecordsCensusVsPricingSplit(t *testing.T) {
 	if _, err := Run(WithBillie, "B-163", Options{}); err != nil {
 		t.Fatal(err)
 	}
+	// A config differing only in hardware knobs shares its census: this
+	// run must be a memo hit, not a third profile execution.
+	hitOpt := Options{Workload: WorkloadHandshake, MonteWidth: 16}
+	if _, err := Run(WithMonte, "P-192", hitOpt); err != nil {
+		t.Fatal(err)
+	}
 
 	s := reg.Snapshot()
-	if s.Counters["sim.runs"] != 2 {
-		t.Errorf("sim.runs = %d, want 2", s.Counters["sim.runs"])
+	if s.Counters["sim.runs"] != 3 {
+		t.Errorf("sim.runs = %d, want 3", s.Counters["sim.runs"])
 	}
-	// Handshake profiles all four phases; sign-verify adds to sign and
-	// verify again.
+	if s.Counters["sim.census.misses"] != 2 || s.Counters["sim.census.hits"] != 1 {
+		t.Errorf("census memo counters = %d hits / %d misses, want 1 / 2",
+			s.Counters["sim.census.hits"], s.Counters["sim.census.misses"])
+	}
+	// Handshake profiles all four phases once (the memo-hit run prices
+	// them again without re-profiling); sign-verify adds to the sign and
+	// verify pricing counts.
 	wantCounts := map[string]int64{
 		"sim.profile.keygen": 1, "sim.profile.ecdh": 1,
 		"sim.profile.sign": 2, "sim.profile.verify": 2,
-		"sim.price.keygen": 1, "sim.price.ecdh": 1,
-		"sim.price.sign": 2, "sim.price.verify": 2,
-		"sim.assemble": 2, "sim.run": 2,
+		"sim.price.keygen": 2, "sim.price.ecdh": 2,
+		"sim.price.sign": 3, "sim.price.verify": 3,
+		"sim.assemble": 3, "sim.run": 3,
 	}
 	for name, want := range wantCounts {
 		if got := s.Histograms[name].Count; got != want {

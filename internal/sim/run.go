@@ -242,58 +242,79 @@ func digest() []byte {
 	return d[:]
 }
 
+// primeMulAlg maps an architecture to the multiplication algorithm its
+// prime-field software stack uses — the only way an arch can influence a
+// census, which is why the census memo keys on the alg instead of the
+// arch.
+func primeMulAlg(arch Arch) mp.MulAlg {
+	switch arch {
+	case Baseline, BaselineCache:
+		return mp.OSNIST
+	case ISAExt, ISAExtCache:
+		return mp.PSNIST
+	default:
+		return mp.CIOS
+	}
+}
+
+// binaryMulAlg is primeMulAlg's binary-field twin.
+func binaryMulAlg(arch Arch) gf2.MulAlg {
+	if arch == Baseline || arch == BaselineCache {
+		return gf2.Comb
+	}
+	return gf2.CLMul
+}
+
 func runPrime(arch Arch, curveName string, opt Options, wl workloadDef) (Result, error) {
 	if arch == WithBillie {
 		return Result{}, fmt.Errorf("sim: Billie is a binary-field accelerator; cannot run %s", curveName)
 	}
-	var alg mp.MulAlg
-	switch arch {
-	case Baseline, BaselineCache:
-		alg = mp.OSNIST
-	case ISAExt, ISAExtCache:
-		alg = mp.PSNIST
-	default:
-		alg = mp.CIOS
-	}
-	curve := ec.NISTPrimeCurve(curveName, alg)
-	phases, err := profilePrimeWorkload(curve, wl)
+	alg := primeMulAlg(arch)
+	key := censusKey{curve: curveName, alg: "prime/" + alg.String(), workload: wl.name}
+	prof, err := censuses.get(key, func() (censusProfile, error) {
+		curve := ec.NISTPrimeCurve(curveName, alg)
+		phases, err := profilePrimeWorkload(curve, wl)
+		if err != nil {
+			return censusProfile{}, err
+		}
+		return censusProfile{phases: phases, k: curve.F.K, bits: curve.F.Bits, nbits: curve.NBits}, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
 
-	k := curve.F.K
-	fieldCosts := PrimeFieldCosts(arch, curveName, curve.F.Bits, k, opt)
-	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
+	fieldCosts := PrimeFieldCosts(arch, curveName, prof.bits, prof.k, opt)
+	orderCosts := orderCostsFor(arch, curveName, prof.nbits, opt)
 
 	accel := arch.HasMonte()
-	tallies := priceWorkload(phases, fieldCosts, orderCosts, accel)
-	return assemble(arch, curveName, opt, wl, phases, tallies, curve.F.Bits)
+	tallies := priceWorkload(prof.phases, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, wl, prof.phases, tallies, prof.bits)
 }
 
 func runBinary(arch Arch, curveName string, opt Options, wl workloadDef) (Result, error) {
 	if arch.HasMonte() {
 		return Result{}, fmt.Errorf("sim: Monte is a prime-field accelerator; cannot run %s", curveName)
 	}
-	var alg gf2.MulAlg
-	if arch == Baseline || arch == BaselineCache {
-		alg = gf2.Comb
-	} else {
-		alg = gf2.CLMul
-	}
-	curve := ec.NISTBinaryCurve(curveName, alg)
-	phases, err := profileBinaryWorkload(curve, wl)
+	alg := binaryMulAlg(arch)
+	key := censusKey{curve: curveName, alg: "binary/" + alg.String(), workload: wl.name}
+	prof, err := censuses.get(key, func() (censusProfile, error) {
+		curve := ec.NISTBinaryCurve(curveName, alg)
+		phases, err := profileBinaryWorkload(curve, wl)
+		if err != nil {
+			return censusProfile{}, err
+		}
+		return censusProfile{phases: phases, k: curve.F.K, bits: curve.F.M, nbits: curve.NBits}, nil
+	})
 	if err != nil {
 		return Result{}, err
 	}
 
-	k := curve.F.K
-	m := curve.F.M
-	fieldCosts := BinaryFieldCosts(arch, curveName, m, k, opt)
-	orderCosts := orderCostsFor(arch, curveName, curve.NBits, opt)
+	fieldCosts := BinaryFieldCosts(arch, curveName, prof.bits, prof.k, opt)
+	orderCosts := orderCostsFor(arch, curveName, prof.nbits, opt)
 
 	accel := arch == WithBillie
-	tallies := priceWorkload(phases, fieldCosts, orderCosts, accel)
-	return assemble(arch, curveName, opt, wl, phases, tallies, m)
+	tallies := priceWorkload(prof.phases, fieldCosts, orderCosts, accel)
+	return assemble(arch, curveName, opt, wl, prof.phases, tallies, prof.bits)
 }
 
 // orderCostsFor prices group-order (protocol) arithmetic, which always
@@ -400,9 +421,15 @@ func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases [
 		T := float64(cycles) / energy.SystemClockHz
 
 		var bd energy.Breakdown
-		// Pete: clock + static always; datapath scaled by activity.
+		// Pete: clock + static always; datapath scaled by activity. A
+		// zero-cycle tally (a degenerate census) has no activity to
+		// scale — dividing by cycles would poison the breakdown with
+		// NaN; every *T term below is already exactly zero.
 		swCycles := cycles - t.accel - missStall
-		activity := (float64(swCycles) + energy.StallActivity*float64(t.accel+missStall)) / float64(cycles)
+		activity := 0.0
+		if cycles > 0 {
+			activity = (float64(swCycles) + energy.StallActivity*float64(t.accel+missStall)) / float64(cycles)
+		}
 		bd.Pete = (energy.PeteClockW+energy.PeteStaticW)*T + energy.PeteDatapathW*activity*T
 
 		// ROM and cache/uncore. A fill crosses the 128-bit ROM port once
@@ -483,9 +510,15 @@ func assemble(arch Arch, curveName string, opt Options, wl workloadDef, phases [
 	if arch == WithBillie {
 		static += energy.BillieStaticD(fieldBits, opt.BillieDigit) * accelStaticScale
 	}
+	// A zero-cycle workload (degenerate census) has no averaging window;
+	// report zero dynamic power instead of the NaN a 0/0 would produce.
+	dynamicW := 0.0
+	if T > 0 {
+		dynamicW = res.TotalEnergy()/T - static
+	}
 	res.Power = energy.PowerSplit{
 		StaticW:  static,
-		DynamicW: res.TotalEnergy()/T - static,
+		DynamicW: dynamicW,
 	}
 	return res, nil
 }

@@ -420,9 +420,12 @@ func RegisterCacheMetrics(reg *Metrics) {
 // Experiment regenerates one of the paper's tables or figures by
 // identifier (see ExperimentNames).
 func Experiment(name string) (string, error) {
-	out, ok := report.ByName(name)
+	out, ok, err := report.ByName(name)
 	if !ok {
 		return "", fmt.Errorf("repro: unknown experiment %q (have %v)", name, report.Names())
+	}
+	if err != nil {
+		return "", fmt.Errorf("repro: experiment %q: %w", name, err)
 	}
 	return out, nil
 }
@@ -430,5 +433,7 @@ func Experiment(name string) (string, error) {
 // ExperimentNames lists the regenerable tables and figures.
 func ExperimentNames() []string { return report.Names() }
 
-// Experiments regenerates the full evaluation chapter.
-func Experiments() string { return report.All() }
+// Experiments regenerates the full evaluation chapter. An invalid
+// configuration in any experiment surfaces as an error rather than a
+// panic deep inside the simulator.
+func Experiments() (string, error) { return report.All() }
