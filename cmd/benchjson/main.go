@@ -7,6 +7,14 @@
 // Every benchmark line is parsed into its name, the GOMAXPROCS suffix,
 // the iteration count, and all value/unit pairs — the standard ns/op,
 // B/op and allocs/op as well as any custom ReportMetric units.
+//
+// The -diff mode compares two archived artifacts and gates on
+// regressions, turning the JSON from a record into a CI check:
+//
+//	benchjson -diff -threshold 50 -only 'BenchmarkExpand$' old.json new.json
+//
+// exits non-zero when any selected benchmark's compared metric (ns/op
+// by default; -metrics adds more) grew beyond the threshold percentage.
 package main
 
 import (
@@ -16,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -117,9 +126,128 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	return b, true
 }
 
+// Diff compares the benchmarks two artifacts share (filtered by the
+// optional name regexp) on the named metrics and writes one report line
+// per comparison. A metric counts as a regression when its new value
+// exceeds old × (1 + threshold/100); improvements and shrinkage never
+// fail. Benchmarks or metrics present on one side only are reported but
+// are not regressions — a renamed or newly added benchmark must not
+// break the gate. Returns how many regressions were found.
+func Diff(w io.Writer, oldOut, newOut Output, threshold float64, only *regexp.Regexp, metrics []string) int {
+	oldBy := make(map[string]Benchmark, len(oldOut.Benchmarks))
+	for _, b := range oldOut.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	regressions := 0
+	compared := 0
+	for _, nb := range newOut.Benchmarks {
+		if only != nil && !only.MatchString(nb.Name) {
+			continue
+		}
+		ob, ok := oldBy[nb.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-40s only in new artifact (no baseline)\n", nb.Name)
+			continue
+		}
+		for _, m := range metrics {
+			ov, oldHas := ob.Metrics[m]
+			nv, newHas := nb.Metrics[m]
+			if !oldHas || !newHas {
+				continue
+			}
+			compared++
+			delta := 0.0
+			if ov != 0 {
+				delta = (nv - ov) / ov * 100
+			}
+			verdict := "ok"
+			if nv > ov*(1+threshold/100) {
+				verdict = fmt.Sprintf("REGRESSION (> +%g%%)", threshold)
+				regressions++
+			}
+			fmt.Fprintf(w, "%-40s %-10s %14.4g -> %14.4g  %+7.1f%%  %s\n",
+				nb.Name, m, ov, nv, delta, verdict)
+		}
+	}
+	if only != nil {
+		for _, ob := range oldOut.Benchmarks {
+			if !only.MatchString(ob.Name) {
+				continue
+			}
+			if _, ok := findBench(newOut.Benchmarks, ob.Name); !ok {
+				fmt.Fprintf(w, "%-40s only in old artifact (dropped?)\n", ob.Name)
+			}
+		}
+	}
+	fmt.Fprintf(w, "%d comparisons, %d regressions\n", compared, regressions)
+	return regressions
+}
+
+func findBench(bs []Benchmark, name string) (Benchmark, bool) {
+	for _, b := range bs {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+func loadArtifact(path string) (Output, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Output{}, err
+	}
+	var out Output
+	if err := json.Unmarshal(data, &out); err != nil {
+		return Output{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return out, nil
+}
+
 func main() {
 	outPath := flag.String("o", "", "write JSON here instead of stdout")
+	diffMode := flag.Bool("diff", false, "compare two artifacts: benchjson -diff [-threshold N] [-only regexp] [-metrics m1,m2] old.json new.json")
+	threshold := flag.String("threshold", "10", "regression threshold in percent (with -diff); a trailing % is accepted")
+	only := flag.String("only", "", "regexp selecting benchmark names to compare (with -diff); empty compares all")
+	metricsFlag := flag.String("metrics", "ns/op", "comma-separated metrics to compare (with -diff)")
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchjson: -diff needs exactly two artifact paths (old.json new.json)")
+			os.Exit(2)
+		}
+		th, err := strconv.ParseFloat(strings.TrimSuffix(*threshold, "%"), 64)
+		if err != nil || th < 0 {
+			fmt.Fprintf(os.Stderr, "benchjson: bad -threshold %q\n", *threshold)
+			os.Exit(2)
+		}
+		var re *regexp.Regexp
+		if *only != "" {
+			if re, err = regexp.Compile(*only); err != nil {
+				fmt.Fprintln(os.Stderr, "benchjson: bad -only regexp:", err)
+				os.Exit(2)
+			}
+		}
+		oldOut, err := loadArtifact(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		newOut, err := loadArtifact(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(2)
+		}
+		metrics := strings.Split(*metricsFlag, ",")
+		for i := range metrics {
+			metrics[i] = strings.TrimSpace(metrics[i])
+		}
+		if Diff(os.Stdout, oldOut, newOut, th, re, metrics) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	parsed, err := Parse(os.Stdin)
 	if err != nil {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -70,6 +71,77 @@ BenchmarkECDSASign/B-283	1	11607701 ns/op
 		if b := out.Benchmarks[i]; b.Name != want || b.Procs != 0 {
 			t.Errorf("benchmark %d = %+v, want name %q with no procs", i, b, want)
 		}
+	}
+}
+
+func mkOutput(benches ...Benchmark) Output { return Output{Benchmarks: benches} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Iterations: 1, Metrics: metrics}
+}
+
+func TestDiffFlagsOnlyRealRegressions(t *testing.T) {
+	oldOut := mkOutput(
+		bench("BenchmarkExpand", map[string]float64{"ns/op": 1000, "allocs/op": 10}),
+		bench("BenchmarkConfigKey", map[string]float64{"ns/op": 100}),
+		bench("BenchmarkOther", map[string]float64{"ns/op": 50}),
+	)
+	newOut := mkOutput(
+		// 2x slower: regression at a 50% threshold.
+		bench("BenchmarkExpand", map[string]float64{"ns/op": 2000, "allocs/op": 10}),
+		// 40% slower: within a 50% threshold.
+		bench("BenchmarkConfigKey", map[string]float64{"ns/op": 140}),
+		// 10x slower but filtered out by -only.
+		bench("BenchmarkOther", map[string]float64{"ns/op": 500}),
+	)
+	only := regexp.MustCompile(`^BenchmarkExpand$|^BenchmarkConfigKey$`)
+
+	var buf strings.Builder
+	got := Diff(&buf, oldOut, newOut, 50, only, []string{"ns/op"})
+	if got != 1 {
+		t.Errorf("Diff = %d regressions, want 1 (the 2x BenchmarkExpand)\n%s", got, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Errorf("report lacks a REGRESSION marker:\n%s", buf.String())
+	}
+
+	// Reversed, every compared benchmark shrinks: an improvement never
+	// regresses, even at a zero threshold.
+	buf.Reset()
+	if got := Diff(&buf, newOut, oldOut, 0, only, []string{"ns/op"}); got != 0 {
+		t.Errorf("reversed Diff = %d regressions, want 0:\n%s", got, buf.String())
+	}
+}
+
+func TestDiffImprovementsPass(t *testing.T) {
+	oldOut := mkOutput(bench("BenchmarkExpand", map[string]float64{"ns/op": 334e6, "allocs/op": 3.9e6}))
+	newOut := mkOutput(bench("BenchmarkExpand", map[string]float64{"ns/op": 0.4e6, "allocs/op": 1427}))
+	var buf strings.Builder
+	if got := Diff(&buf, oldOut, newOut, 0, nil, []string{"ns/op", "allocs/op"}); got != 0 {
+		t.Errorf("an 800x improvement counted as %d regressions:\n%s", got, buf.String())
+	}
+}
+
+func TestDiffMissingBenchmarksAreNotRegressions(t *testing.T) {
+	oldOut := mkOutput(bench("BenchmarkGone", map[string]float64{"ns/op": 10}))
+	newOut := mkOutput(bench("BenchmarkNew", map[string]float64{"ns/op": 10}))
+	var buf strings.Builder
+	if got := Diff(&buf, oldOut, newOut, 10, regexp.MustCompile("Benchmark"), []string{"ns/op"}); got != 0 {
+		t.Errorf("one-sided benchmarks counted as %d regressions:\n%s", got, buf.String())
+	}
+	for _, want := range []string{"only in new artifact", "only in old artifact"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("report does not mention %q:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestDiffMultipleMetrics(t *testing.T) {
+	oldOut := mkOutput(bench("BenchmarkConfigKey", map[string]float64{"ns/op": 100, "allocs/op": 2}))
+	newOut := mkOutput(bench("BenchmarkConfigKey", map[string]float64{"ns/op": 100, "allocs/op": 11}))
+	var buf strings.Builder
+	if got := Diff(&buf, oldOut, newOut, 50, nil, []string{"ns/op", "allocs/op"}); got != 1 {
+		t.Errorf("allocs/op regression not caught: %d regressions\n%s", got, buf.String())
 	}
 }
 

@@ -47,6 +47,15 @@ func printStats(w io.Writer, reg *repro.Metrics, timing *repro.SweepTiming) {
 			s.Counters["sim.census.hits"], s.Counters["sim.census.misses"])
 	}
 
+	// Expansion economics: how much of the raw cross-product the
+	// relevance-factored expansion never had to enumerate.
+	if raw := s.Counters["dse.expand.raw"]; raw > 0 {
+		unique := s.Counters["dse.expand.unique"]
+		fmt.Fprintf(w, "expansion: %d raw grid points -> %d unique configs (%.0fx collapse; %d pruned, %d deduplicated)\n",
+			raw, unique, float64(raw)/float64(max(unique, 1)),
+			s.Counters["dse.expand.pruned"], s.Counters["dse.expand.deduped"])
+	}
+
 	if timing != nil {
 		fmt.Fprintln(w, "sweep stages:")
 		fmt.Fprintf(w, "  total %.3fs  expand %.3fs  load %.3fs (%d B)  flush %.3fs (%d B)\n",

@@ -26,6 +26,15 @@ import (
 // alone. Registry order is load-bearing twice over: it is the canonical
 // key token order (changing it changes every config hash) and the
 // Expand odometer order (last entry varies fastest).
+//
+// A new axis MUST declare its archRelevant predicate alongside
+// relevant. Factored expansion only enumerates an axis on the
+// architectures its archRelevant admits; an axis that omits the
+// predicate is treated as possibly relevant everywhere and multiplies
+// every architecture's factored grid — Baseline's 1-point sweep
+// becomes N points. The predicate must over-approximate relevant
+// (never be false where relevant can be true); the factored-vs-brute
+// equivalence tests catch a violation.
 
 // Axis declares one design-space option knob.
 type Axis struct {
@@ -41,31 +50,45 @@ type Axis struct {
 	// normalize fills the axis's SweepSpec field with its single-value
 	// default set when unset (nil/empty).
 	normalize func(s *SweepSpec)
-	// specValues returns the axis's SweepSpec values boxed for the
-	// generic odometer; call on a normalized spec.
-	specValues func(s *SweepSpec) []any
+	// values returns the axis's SweepSpec values, unboxed, for the
+	// expansion odometer; call on a normalized spec.
+	values func(s *SweepSpec) []axisValue
 	// check validates one value against the modeled domain (the same
 	// sim.Check* the simulator's own validation runs); nil means every
 	// value of the type is in-model.
-	check func(v any) error
+	check func(v axisValue) error
 	// set writes one value into the options.
-	set func(o *sim.Options, v any)
+	set func(o *sim.Options, v axisValue)
 
 	// canon rewrites the option toward its canonical form (zero-value →
 	// default, or default → elided zero); nil means the zero value is
-	// already canonical.
+	// already canonical. It reads and writes only the axis's own field.
 	canon func(o *sim.Options)
 	// relevant reports whether the knob physically exists on the
 	// config's architecture (evaluated after every canon has run); nil
 	// means always relevant.
 	relevant func(c *Config) bool
+	// archRelevant is the architecture-level upper bound of relevant:
+	// false means no configuration on that architecture can ever have
+	// the knob relevant, so factored expansion pins the axis at its
+	// cleared value instead of enumerating it. nil means possibly
+	// relevant everywhere. It must over-approximate relevant —
+	// relevant(c) implies archRelevant(c.Arch) — never refine it; a
+	// value-conditional predicate (the prefetcher is irrelevant under
+	// an ideal cache) keeps its arch-level bound here and collapses in
+	// Canonical. The factored-vs-brute equivalence tests enforce the
+	// bound; an axis that omits it merely multiplies every
+	// architecture's factored grid, it cannot produce wrong configs.
+	archRelevant func(a sim.Arch) bool
 	// clear forces the knob to its irrelevant zero value.
 	clear func(o *sim.Options)
 
-	// keyToken renders the canonical key token ("cache=4096"); ""
-	// elides the token, which is how a new axis keeps every pre-existing
-	// key and hash byte-identical at its default.
-	keyToken func(o *sim.Options) string
+	// appendKey appends the canonical key token (" cache=4096", leading
+	// space included) to dst, or returns dst unchanged to elide the
+	// token, which is how a new axis keeps every pre-existing key and
+	// hash byte-identical at its default. Append-style so the whole key
+	// renders into one preallocated buffer with no per-token strings.
+	appendKey func(dst []byte, o *sim.Options) []byte
 	// label renders the OptionsLabel fragment; attach appends it to the
 	// previous fragment without a space ("4KB"+"+pf"). Empty means no
 	// fragment.
@@ -73,6 +96,22 @@ type Axis struct {
 	// toJSON copies the canonical option value into the wire form.
 	toJSON func(c *Config, j *PointJSON)
 }
+
+// axisValue carries one axis value through the expansion inner loop
+// without boxing: the odometer used to build one interface value per
+// axis per raw point (3.9 M allocations on a FullSweep expansion); a
+// small tagged struct is copied instead. The tag reuses the FlagKind
+// discriminants.
+type axisValue struct {
+	kind FlagKind
+	i    int
+	b    bool
+	s    string
+}
+
+func intVal(v int) axisValue       { return axisValue{kind: FlagInt, i: v} }
+func boolVal(v bool) axisValue     { return axisValue{kind: FlagBool, b: v} }
+func stringVal(v string) axisValue { return axisValue{kind: FlagString, s: v} }
 
 // FlagKind selects the CLI flag type generated for an axis.
 type FlagKind int
@@ -96,26 +135,26 @@ type FlagSpec struct {
 	Invert bool
 }
 
-func boxInts(vs []int) []any {
-	out := make([]any, len(vs))
+func intVals(vs []int) []axisValue {
+	out := make([]axisValue, len(vs))
 	for i, v := range vs {
-		out[i] = v
+		out[i] = intVal(v)
 	}
 	return out
 }
 
-func boxBools(vs []bool) []any {
-	out := make([]any, len(vs))
+func boolVals(vs []bool) []axisValue {
+	out := make([]axisValue, len(vs))
 	for i, v := range vs {
-		out[i] = v
+		out[i] = boolVal(v)
 	}
 	return out
 }
 
-func boxStrings(vs []string) []any {
-	out := make([]any, len(vs))
+func stringVals(vs []string) []axisValue {
+	out := make([]axisValue, len(vs))
 	for i, v := range vs {
-		out[i] = v
+		out[i] = stringVal(v)
 	}
 	return out
 }
@@ -136,17 +175,21 @@ var axes = []*Axis{
 				s.CacheBytes = []int{4096}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxInts(s.CacheBytes) },
-		check:      func(v any) error { return sim.CheckCacheBytes(v.(int)) },
-		set:        func(o *sim.Options, v any) { o.CacheBytes = v.(int) },
+		values: func(s *SweepSpec) []axisValue { return intVals(s.CacheBytes) },
+		check:  func(v axisValue) error { return sim.CheckCacheBytes(v.i) },
+		set:    func(o *sim.Options, v axisValue) { o.CacheBytes = v.i },
 		canon: func(o *sim.Options) {
 			if o.CacheBytes == 0 {
 				o.CacheBytes = 4096
 			}
 		},
-		relevant: func(c *Config) bool { return c.Arch.HasCache() },
-		clear:    func(o *sim.Options) { o.CacheBytes = 0 },
-		keyToken: func(o *sim.Options) string { return "cache=" + strconv.Itoa(o.CacheBytes) },
+		relevant:     func(c *Config) bool { return c.Arch.HasCache() },
+		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
+		clear:        func(o *sim.Options) { o.CacheBytes = 0 },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " cache="...)
+			return strconv.AppendInt(dst, int64(o.CacheBytes), 10)
+		},
 		label: func(c *Config) (string, bool) {
 			if !c.Arch.HasCache() {
 				return "", false
@@ -165,12 +208,18 @@ var axes = []*Axis{
 				s.Prefetch = []bool{false}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxBools(s.Prefetch) },
-		set:        func(o *sim.Options, v any) { o.Prefetch = v.(bool) },
-		// A never-miss cache has no misses to prefetch for.
-		relevant: func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
-		clear:    func(o *sim.Options) { o.Prefetch = false },
-		keyToken: func(o *sim.Options) string { return "pf=" + strconv.FormatBool(o.Prefetch) },
+		values: func(s *SweepSpec) []axisValue { return boolVals(s.Prefetch) },
+		set:    func(o *sim.Options, v axisValue) { o.Prefetch = v.b },
+		// A never-miss cache has no misses to prefetch for. The
+		// ideal-cache condition is value-level, so the arch bound keeps
+		// only the HasCache half.
+		relevant:     func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
+		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
+		clear:        func(o *sim.Options) { o.Prefetch = false },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " pf="...)
+			return strconv.AppendBool(dst, o.Prefetch)
+		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.Prefetch {
 				return "", false
@@ -189,11 +238,15 @@ var axes = []*Axis{
 				s.IdealCache = []bool{false}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxBools(s.IdealCache) },
-		set:        func(o *sim.Options, v any) { o.IdealCache = v.(bool) },
-		relevant:   func(c *Config) bool { return c.Arch.HasCache() },
-		clear:      func(o *sim.Options) { o.IdealCache = false },
-		keyToken:   func(o *sim.Options) string { return "ideal=" + strconv.FormatBool(o.IdealCache) },
+		values:       func(s *SweepSpec) []axisValue { return boolVals(s.IdealCache) },
+		set:          func(o *sim.Options, v axisValue) { o.IdealCache = v.b },
+		relevant:     func(c *Config) bool { return c.Arch.HasCache() },
+		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
+		clear:        func(o *sim.Options) { o.IdealCache = false },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " ideal="...)
+			return strconv.AppendBool(dst, o.IdealCache)
+		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.IdealCache {
 				return "", false
@@ -212,11 +265,15 @@ var axes = []*Axis{
 				s.DoubleBuffer = []bool{true}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxBools(s.DoubleBuffer) },
-		set:        func(o *sim.Options, v any) { o.DoubleBuffer = v.(bool) },
-		relevant:   func(c *Config) bool { return c.Arch.HasMonte() },
-		clear:      func(o *sim.Options) { o.DoubleBuffer = false },
-		keyToken:   func(o *sim.Options) string { return "db=" + strconv.FormatBool(o.DoubleBuffer) },
+		values:       func(s *SweepSpec) []axisValue { return boolVals(s.DoubleBuffer) },
+		set:          func(o *sim.Options, v axisValue) { o.DoubleBuffer = v.b },
+		relevant:     func(c *Config) bool { return c.Arch.HasMonte() },
+		archRelevant: func(a sim.Arch) bool { return a.HasMonte() },
+		clear:        func(o *sim.Options) { o.DoubleBuffer = false },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " db="...)
+			return strconv.AppendBool(dst, o.DoubleBuffer)
+		},
 		label: func(c *Config) (string, bool) {
 			if !c.Arch.HasMonte() || c.Opt.DoubleBuffer {
 				return "", false
@@ -235,17 +292,21 @@ var axes = []*Axis{
 				s.MonteWidths = []int{sim.DefaultMonteWidth}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxInts(s.MonteWidths) },
-		check:      func(v any) error { return sim.CheckMonteWidth(v.(int)) },
-		set:        func(o *sim.Options, v any) { o.MonteWidth = v.(int) },
+		values: func(s *SweepSpec) []axisValue { return intVals(s.MonteWidths) },
+		check:  func(v axisValue) error { return sim.CheckMonteWidth(v.i) },
+		set:    func(o *sim.Options, v axisValue) { o.MonteWidth = v.i },
 		canon: func(o *sim.Options) {
 			if o.MonteWidth == 0 {
 				o.MonteWidth = sim.DefaultMonteWidth
 			}
 		},
-		relevant: func(c *Config) bool { return c.Arch.HasMonte() },
-		clear:    func(o *sim.Options) { o.MonteWidth = 0 },
-		keyToken: func(o *sim.Options) string { return "w=" + strconv.Itoa(o.MonteWidth) },
+		relevant:     func(c *Config) bool { return c.Arch.HasMonte() },
+		archRelevant: func(a sim.Arch) bool { return a.HasMonte() },
+		clear:        func(o *sim.Options) { o.MonteWidth = 0 },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " w="...)
+			return strconv.AppendInt(dst, int64(o.MonteWidth), 10)
+		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.MonteWidth == 0 || c.Opt.MonteWidth == sim.DefaultMonteWidth {
 				return "", false
@@ -264,17 +325,21 @@ var axes = []*Axis{
 				s.BillieDigits = []int{3}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxInts(s.BillieDigits) },
-		check:      func(v any) error { return sim.CheckBillieDigit(v.(int)) },
-		set:        func(o *sim.Options, v any) { o.BillieDigit = v.(int) },
+		values: func(s *SweepSpec) []axisValue { return intVals(s.BillieDigits) },
+		check:  func(v axisValue) error { return sim.CheckBillieDigit(v.i) },
+		set:    func(o *sim.Options, v axisValue) { o.BillieDigit = v.i },
 		canon: func(o *sim.Options) {
 			if o.BillieDigit == 0 {
 				o.BillieDigit = 3
 			}
 		},
-		relevant: func(c *Config) bool { return c.Arch == sim.WithBillie },
-		clear:    func(o *sim.Options) { o.BillieDigit = 0 },
-		keyToken: func(o *sim.Options) string { return "digit=" + strconv.Itoa(o.BillieDigit) },
+		relevant:     func(c *Config) bool { return c.Arch == sim.WithBillie },
+		archRelevant: func(a sim.Arch) bool { return a == sim.WithBillie },
+		clear:        func(o *sim.Options) { o.BillieDigit = 0 },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " digit="...)
+			return strconv.AppendInt(dst, int64(o.BillieDigit), 10)
+		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.BillieDigit == 0 {
 				return "", false
@@ -293,13 +358,17 @@ var axes = []*Axis{
 				s.GateAccelIdle = []bool{false}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxBools(s.GateAccelIdle) },
-		set:        func(o *sim.Options, v any) { o.GateAccelIdle = v.(bool) },
+		values: func(s *SweepSpec) []axisValue { return boolVals(s.GateAccelIdle) },
+		set:    func(o *sim.Options, v axisValue) { o.GateAccelIdle = v.b },
 		relevant: func(c *Config) bool {
 			return c.Arch.HasMonte() || c.Arch == sim.WithBillie
 		},
-		clear:    func(o *sim.Options) { o.GateAccelIdle = false },
-		keyToken: func(o *sim.Options) string { return "gate=" + strconv.FormatBool(o.GateAccelIdle) },
+		archRelevant: func(a sim.Arch) bool { return a.HasMonte() || a == sim.WithBillie },
+		clear:        func(o *sim.Options) { o.GateAccelIdle = false },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
+			dst = append(dst, " gate="...)
+			return strconv.AppendBool(dst, o.GateAccelIdle)
+		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.GateAccelIdle {
 				return "", false
@@ -318,9 +387,9 @@ var axes = []*Axis{
 				s.CacheLineBytes = []int{sim.DefaultCacheLineBytes}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxInts(s.CacheLineBytes) },
-		check:      func(v any) error { return sim.CheckCacheLineBytes(v.(int)) },
-		set:        func(o *sim.Options, v any) { o.CacheLineBytes = v.(int) },
+		values: func(s *SweepSpec) []axisValue { return intVals(s.CacheLineBytes) },
+		check:  func(v axisValue) error { return sim.CheckCacheLineBytes(v.i) },
+		set:    func(o *sim.Options, v axisValue) { o.CacheLineBytes = v.i },
 		// The default line canonicalizes to the *elided* zero value —
 		// the reverse of the cache-capacity fill — so every key, hash,
 		// JSON document and disk-store byte that predates the axis is
@@ -330,13 +399,15 @@ var axes = []*Axis{
 				o.CacheLineBytes = 0
 			}
 		},
-		relevant: func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
-		clear:    func(o *sim.Options) { o.CacheLineBytes = 0 },
-		keyToken: func(o *sim.Options) string {
+		relevant:     func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
+		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
+		clear:        func(o *sim.Options) { o.CacheLineBytes = 0 },
+		appendKey: func(dst []byte, o *sim.Options) []byte {
 			if o.CacheLineBytes == 0 {
-				return ""
+				return dst
 			}
-			return "line=" + strconv.Itoa(o.CacheLineBytes)
+			dst = append(dst, " line="...)
+			return strconv.AppendInt(dst, int64(o.CacheLineBytes), 10)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.CacheLineBytes == 0 {
@@ -358,9 +429,9 @@ var axes = []*Axis{
 				s.Workloads = []string{""}
 			}
 		},
-		specValues: func(s *SweepSpec) []any { return boxStrings(s.Workloads) },
-		check:      func(v any) error { return sim.CheckWorkload(v.(string)) },
-		set:        func(o *sim.Options, v any) { o.Workload = v.(string) },
+		values: func(s *SweepSpec) []axisValue { return stringVals(s.Workloads) },
+		check:  func(v axisValue) error { return sim.CheckWorkload(v.s) },
+		set:    func(o *sim.Options, v axisValue) { o.Workload = v.s },
 		// The default workload elides to "", so configs predating the
 		// workload axis keep their keys and hashes.
 		canon: func(o *sim.Options) {
@@ -368,11 +439,14 @@ var axes = []*Axis{
 				o.Workload = ""
 			}
 		},
-		keyToken: func(o *sim.Options) string {
+		// No archRelevant: every architecture prices a workload, so the
+		// factored grid always enumerates this axis.
+		appendKey: func(dst []byte, o *sim.Options) []byte {
 			if o.Workload == "" {
-				return ""
+				return dst
 			}
-			return "wl=" + o.Workload
+			dst = append(dst, " wl="...)
+			return append(dst, o.Workload...)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.Workload == "" {
@@ -418,18 +492,33 @@ func RegisterAxisFlags(fs *flag.FlagSet) func(o *sim.Options) {
 		for _, bd := range bounds {
 			switch {
 			case bd.i != nil:
-				bd.ax.set(o, *bd.i)
+				bd.ax.set(o, intVal(*bd.i))
 			case bd.b != nil:
 				v := *bd.b
 				if bd.ax.Flag.Invert {
 					v = !v
 				}
-				bd.ax.set(o, v)
+				bd.ax.set(o, boolVal(v))
 			case bd.s != nil:
-				bd.ax.set(o, *bd.s)
+				bd.ax.set(o, stringVal(*bd.s))
 			}
 		}
 	}
+}
+
+// RelevantAxes lists the names of the axes whose arch-level relevance
+// bound admits architecture a — the axes factored expansion actually
+// enumerates for that architecture. Tests pin the per-architecture
+// counts so an axis that forgets its archRelevant predicate (and so
+// silently re-inflates every architecture's grid) fails loudly.
+func RelevantAxes(a sim.Arch) []string {
+	var out []string
+	for _, ax := range axes {
+		if ax.archRelevant == nil || ax.archRelevant(a) {
+			out = append(out, ax.Name)
+		}
+	}
+	return out
 }
 
 // AxisFlagNames lists the CLI flag names RegisterAxisFlags generates,

@@ -40,6 +40,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"strings"
+	"sync"
 
 	"repro/internal/ec"
 	"repro/internal/sim"
@@ -51,6 +52,17 @@ type Config struct {
 	Arch  sim.Arch
 	Curve string
 	Opt   sim.Options
+
+	// key memoizes the rendered canonical key. Invariant: it is only
+	// ever set on a config that is already canonical (Expand and
+	// expandBrute stamp it on each unique config they emit), so Key can
+	// return it verbatim and Canonical can carry it through unchanged.
+	// Hand-built configs leave it "" and pay one render on first use.
+	// Unexported, so it is invisible to encoding/json and never reaches
+	// the store; it does participate in == comparison, which is what the
+	// equivalence tests want (both expansion paths must stamp the same
+	// key) — compare hand-built configs via Key or Hash, not ==.
+	key string
 }
 
 // Canonical returns the config with irrelevant knobs forced to their
@@ -64,19 +76,33 @@ type Config struct {
 // pre-axis keys and hashes byte-identical), then every axis irrelevant
 // to the architecture is cleared.
 func (c Config) Canonical() Config {
-	out := c
+	c.canonicalize()
+	return c
+}
+
+// canonicalize rewrites the config to canonical form in place: every
+// axis first normalizes its own value, then every axis irrelevant to
+// the (now-normalized) config is cleared. The in-place form exists so
+// hot paths (Key, Expand) can canonicalize a reused scratch value
+// instead of heap-escaping a fresh copy per call.
+func (c *Config) canonicalize() {
 	for _, ax := range axes {
 		if ax.canon != nil {
-			ax.canon(&out.Opt)
+			ax.canon(&c.Opt)
 		}
 	}
 	for _, ax := range axes {
-		if ax.relevant != nil && !ax.relevant(&out) {
-			ax.clear(&out.Opt)
+		if ax.relevant != nil && !ax.relevant(c) {
+			ax.clear(&c.Opt)
 		}
 	}
-	return out
 }
+
+// keyBufCap sizes the key render buffer so every key in the current
+// design space fits without regrowing (the longest FullSweep manifest
+// key is under 120 bytes); Key then costs exactly two allocations — the
+// buffer and the final string.
+const keyBufCap = 160
 
 // Key renders the canonical configuration as a stable, human-readable
 // string: the arch and curve followed by one token per registered axis
@@ -84,21 +110,59 @@ func (c Config) Canonical() Config {
 // simulation results. An axis may elide its token at the default value
 // (the workload and line axes do), which is how keys and hashes
 // computed before that axis existed stay byte-identical.
+//
+// Configs emitted by Expand carry the key memoized and return it
+// without re-rendering; anything hand-built canonicalizes and renders
+// once per call through a pooled scratch (the canonical copy and the
+// byte buffer both outlive escape analysis via the registry closures,
+// so pooling them leaves the returned string as the only allocation).
 func (c Config) Key() string {
-	cc := c.Canonical()
-	var b strings.Builder
-	b.Grow(112)
-	b.WriteString("arch=")
-	b.WriteString(cc.Arch.String())
-	b.WriteString(" curve=")
-	b.WriteString(cc.Curve)
-	for _, ax := range axes {
-		if tok := ax.keyToken(&cc.Opt); tok != "" {
-			b.WriteByte(' ')
-			b.WriteString(tok)
-		}
+	if c.key != "" {
+		return c.key
 	}
-	return b.String()
+	s := keyScratchPool.Get().(*keyScratch)
+	s.cfg = c
+	s.cfg.canonicalize()
+	s.buf = s.cfg.appendKeyTo(s.buf[:0])
+	key := string(s.buf)
+	keyScratchPool.Put(s)
+	return key
+}
+
+// keyScratch carries the canonical copy and render buffer one Key call
+// needs; pooled because both escape through the per-axis closures.
+type keyScratch struct {
+	cfg Config
+	buf []byte
+}
+
+var keyScratchPool = sync.Pool{
+	New: func() any { return &keyScratch{buf: make([]byte, 0, keyBufCap)} },
+}
+
+// appendKeyTo appends the key rendering of an already-canonical config
+// to dst. Each axis appends its own token (or elides it) straight into
+// the shared buffer, so a render is two allocations from cold and zero
+// when the caller reuses the buffer.
+func (c *Config) appendKeyTo(dst []byte) []byte {
+	dst = append(dst, "arch="...)
+	dst = append(dst, c.Arch.String()...)
+	dst = append(dst, " curve="...)
+	dst = append(dst, c.Curve...)
+	for _, ax := range axes {
+		dst = ax.appendKey(dst, &c.Opt)
+	}
+	return dst
+}
+
+// WithWorkload returns the same physical design re-priced on a
+// different workload. Deriving through this method (rather than
+// assigning Opt.Workload on a sweep-emitted config) drops the memoized
+// key so Key and Hash re-render for the new workload.
+func (c Config) WithWorkload(wl string) Config {
+	c.Opt.Workload = wl
+	c.key = ""
+	return c
 }
 
 // Hash returns the canonical config hash (hex SHA-256 of Key) used as the

@@ -40,7 +40,9 @@ func ShardOf(hash string, shardCount int) int {
 }
 
 // shardConfigs returns the subset of cfgs owned by shard index of count,
-// preserving specification order.
+// preserving specification order. Expand-emitted configs carry their
+// rendered key memoized, so the Hash here prices one SHA-256 per
+// config, not a key render plus a SHA-256.
 func shardConfigs(cfgs []Config, index, count int) []Config {
 	out := make([]Config, 0, len(cfgs)/count+1)
 	for _, c := range cfgs {

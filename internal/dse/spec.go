@@ -121,7 +121,7 @@ func (s SweepSpec) Validate() error {
 		if ax.check == nil {
 			continue
 		}
-		for _, v := range ax.specValues(&n) {
+		for _, v := range ax.values(&n) {
 			if err := ax.check(v); err != nil {
 				return fmt.Errorf("dse: %w", err)
 			}
@@ -137,25 +137,174 @@ func (s SweepSpec) RawPoints() int {
 	n := s.normalized()
 	total := len(n.Archs) * len(n.Curves)
 	for _, ax := range axes {
-		total *= len(ax.specValues(&n))
+		total *= len(ax.values(&n))
 	}
 	return total
 }
 
-// Expand enumerates the cross-product in deterministic specification
-// order (arch-major, then curve, then the registered option axes in
-// registry order with the last — the workload — varying fastest),
-// pruning invalid architecture/curve pairs and deduplicating canonically
-// identical configurations.
+// PrunedPoints returns how many raw grid points the spec loses to
+// validity pruning alone: invalid architecture/curve pairs (Monte on a
+// binary curve, Billie on a prime curve) each drop a full per-pair axis
+// grid. RawPoints = PrunedPoints + deduplicated + unique.
+func (s SweepSpec) PrunedPoints() int {
+	n := s.normalized()
+	perPair := 1
+	for _, ax := range axes {
+		perPair *= len(ax.values(&n))
+	}
+	invalid := 0
+	for _, a := range n.Archs {
+		for _, c := range n.Curves {
+			if !(Config{Arch: a, Curve: c}).Valid() {
+				invalid++
+			}
+		}
+	}
+	return invalid * perPair
+}
+
+// Expand enumerates the spec's unique canonical configurations in
+// deterministic specification order (arch-major, then curve, then the
+// registered option axes in registry order with the last — the workload
+// — varying fastest), pruning invalid architecture/curve pairs and
+// deduplicating canonically identical configurations.
+//
+// The enumeration is factored by relevance rather than brute
+// cross-product: for each architecture only the axes whose archRelevant
+// bound admits it are run through the odometer, the rest stay pinned at
+// their cleared zero values (which Canonical restores for them exactly
+// as it would have collapsed a swept value). Per-axis value lists are
+// also deduplicated up front by canonical effect (CacheBytes {0, 4096}
+// is one point, not two). Baseline therefore explores its one real knob
+// — the workload — instead of the full option grid, and the work is
+// O(unique configs), not O(RawPoints). expandBrute keeps the original
+// odometer as the oracle; the equivalence tests prove both paths emit
+// the identical slice, same members in the same first-occurrence order.
+//
+// Every emitted Config carries its rendered canonical key memoized, so
+// downstream consumers (Sweep's dedup and cache lookups, shard
+// partitioning, store writes) never re-render it.
 func (s SweepSpec) Expand() []Config {
 	n := s.normalized()
-	vals := make([][]any, len(axes))
+	vals := make([][]axisValue, len(axes))
 	for i, ax := range axes {
-		vals[i] = ax.specValues(&n)
+		vals[i] = dedupAxisValues(ax, ax.values(&n))
+	}
+	seen := make(map[string]bool)
+	var out []Config
+	live := make([]int, 0, len(axes))
+	idx := make([]int, len(axes))
+	buf := make([]byte, 0, keyBufCap)
+	// One scratch config, canonicalized in place per point: hoisted so
+	// the escape through the registry closures costs one allocation for
+	// the whole expansion, not one per point.
+	var scratch Config
+	for _, a := range n.Archs {
+		// The factored axis set for this architecture. archRelevant is an
+		// upper bound of relevant, so pinning the excluded axes at zero
+		// loses nothing: Canonical would clear them anyway.
+		live = live[:0]
+		for i, ax := range axes {
+			if ax.archRelevant == nil || ax.archRelevant(a) {
+				live = append(live, i)
+			}
+		}
+		for _, curve := range n.Curves {
+			// Validity depends only on (arch, curve): hoist the prune out
+			// of the option grid entirely.
+			if !(Config{Arch: a, Curve: curve}).Valid() {
+				continue
+			}
+			for i := range idx {
+				idx[i] = 0
+			}
+			for {
+				var opt sim.Options
+				for _, i := range live {
+					axes[i].set(&opt, vals[i][idx[i]])
+				}
+				// Full canonicalization still runs per point:
+				// value-conditional collapses (an ideal cache folding the
+				// prefetch and line axes) are below the arch-level
+				// factoring, and the seen map absorbs them.
+				scratch = Config{Arch: a, Curve: curve, Opt: opt}
+				scratch.canonicalize()
+				buf = scratch.appendKeyTo(buf[:0])
+				if !seen[string(buf)] {
+					cfg := scratch
+					cfg.key = string(buf)
+					seen[cfg.key] = true
+					out = append(out, cfg)
+				}
+				// Odometer step over the live axes only; the last is
+				// least significant.
+				k := len(live) - 1
+				for k >= 0 {
+					i := live[k]
+					idx[i]++
+					if idx[i] < len(vals[i]) {
+						break
+					}
+					idx[i] = 0
+					k--
+				}
+				if k < 0 {
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// dedupAxisValues collapses an axis's swept values by canonical effect:
+// two values that set-then-canonicalize to the same option field (0 and
+// 4096 for CacheBytes, 16 and the elided 0 for CacheLineBytes) are one
+// grid point, first occurrence winning. The quadratic scan is fine —
+// axis value lists are a handful of entries.
+func dedupAxisValues(ax *Axis, vs []axisValue) []axisValue {
+	canonOf := func(v axisValue) sim.Options {
+		var o sim.Options
+		ax.set(&o, v)
+		if ax.canon != nil {
+			ax.canon(&o)
+		}
+		return o
+	}
+	out := vs[:0:0]
+	var reps []sim.Options
+	for _, v := range vs {
+		o := canonOf(v)
+		dup := false
+		for _, r := range reps {
+			if r == o {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			reps = append(reps, o)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// expandBrute is the original cross-product odometer: every axis for
+// every architecture, validity checked per raw point, Canonical and a
+// key render per point. Kept as the oracle the factored Expand is
+// proven against — O(RawPoints) where Expand is O(unique) — and as the
+// reference semantics for what a spec means.
+func (s SweepSpec) expandBrute() []Config {
+	n := s.normalized()
+	vals := make([][]axisValue, len(axes))
+	for i, ax := range axes {
+		vals[i] = ax.values(&n)
 	}
 	seen := make(map[string]bool)
 	var out []Config
 	idx := make([]int, len(axes))
+	buf := make([]byte, 0, keyBufCap)
 	for _, a := range n.Archs {
 		for _, c := range n.Curves {
 			for i := range idx {
@@ -169,8 +318,11 @@ func (s SweepSpec) Expand() []Config {
 				cfg := Config{Arch: a, Curve: c, Opt: opt}
 				if cfg.Valid() {
 					cfg = cfg.Canonical()
-					if key := cfg.Key(); !seen[key] {
+					buf = cfg.appendKeyTo(buf[:0])
+					if !seen[string(buf)] {
+						key := string(buf)
 						seen[key] = true
+						cfg.key = key
 						out = append(out, cfg)
 					}
 				}

@@ -126,12 +126,22 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		sweepStart = time.Now()
 	}
 	cfgs := spec.Expand()
+	// Expansion economics: unique is counted before sharding (every
+	// shard of a grid sees the same expansion), and raw − pruned −
+	// unique is what canonical deduplication collapsed.
+	unique := len(cfgs)
 	if sharded {
 		cfgs = shardConfigs(cfgs, opt.ShardIndex, opt.ShardCount)
 	}
 	var expandDur time.Duration
 	if telOn {
 		expandDur = time.Since(sweepStart)
+	}
+	var raw, pruned, deduped int
+	if telOn {
+		raw = spec.RawPoints()
+		pruned = spec.PrunedPoints()
+		deduped = raw - pruned - unique
 	}
 	workers := opt.Workers
 	if workers <= 0 {
@@ -144,9 +154,16 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		opt.Metrics.Histogram("sweep.expand").Observe(expandDur)
 		opt.Metrics.Gauge("sweep.configs").Set(int64(len(cfgs)))
 		opt.Metrics.Gauge("sweep.workers").Set(int64(workers))
+		opt.Metrics.Counter("dse.expand.raw").Add(int64(raw))
+		opt.Metrics.Counter("dse.expand.pruned").Add(int64(pruned))
+		opt.Metrics.Counter("dse.expand.deduped").Add(int64(deduped))
+		opt.Metrics.Counter("dse.expand.unique").Add(int64(unique))
 	}
 	if opt.Journal != nil {
-		f := map[string]any{"configs": len(cfgs), "rawPoints": spec.RawPoints(), "workers": workers}
+		f := map[string]any{
+			"configs": len(cfgs), "rawPoints": raw, "workers": workers,
+			"pruned": pruned, "deduped": deduped, "unique": unique,
+		}
 		if sharded {
 			f["shardIndex"], f["shardCount"] = opt.ShardIndex, opt.ShardCount
 		}

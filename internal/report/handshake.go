@@ -68,8 +68,9 @@ func HandshakeStudy() (string, error) {
 	for _, best := range dse.BestPerSecurity(byWorkload[sim.WorkloadHandshake]) {
 		hs := best.MinEnergy
 		// The same physical design priced on the default workload.
-		svCfg := hs.Config
-		svCfg.Opt.Workload = sim.WorkloadSignVerify
+		// WithWorkload (not a field assignment) so the memoized sweep key
+		// is dropped and the hash re-renders for the new workload.
+		svCfg := hs.Config.WithWorkload(sim.WorkloadSignVerify)
 		var sv dse.Point
 		for _, p := range byWorkload[sim.WorkloadSignVerify] {
 			if p.Config.Hash() == svCfg.Hash() {
@@ -93,8 +94,7 @@ func HandshakeStudy() (string, error) {
 // workloadLabel renders a point's design without the workload token
 // (the surrounding table already names the workload).
 func workloadLabel(p dse.Point) string {
-	cfg := p.Config
-	cfg.Opt.Workload = ""
+	cfg := p.Config.WithWorkload("")
 	label := fmt.Sprintf("%s/%s", cfg.Arch, cfg.Curve)
 	if opts := cfg.OptionsLabel(); opts != "" {
 		label += " " + opts
