@@ -30,10 +30,11 @@
 //	dse -merge-cache -cache-dir .dse        # combine the shard stores
 //	dse -sweep -cache-dir .dse              # re-sweep: 100% cache hits
 //
-// The per-axis flags (-cache, -prefetch, -ideal-cache,
-// -no-double-buffer, -width, -digit, -gate-accel-idle, -line,
-// -workload) are generated from the dse axis registry; -list prints the
-// registry alongside the experiment identifiers.
+// The design-space flags are generated from the dse axis registry: the
+// dimension selectors (-arch, -curve) from its dimension axes and the
+// per-knob flags (-cache, -prefetch, -ideal-cache, -no-double-buffer,
+// -width, -digit, -gate-accel-idle, -line, -workload) from its option
+// axes; -list prints the registry alongside the experiment identifiers.
 package main
 
 import (
@@ -50,11 +51,9 @@ import (
 
 func main() {
 	var (
-		all   = flag.Bool("all", false, "regenerate every table and figure")
-		exp   = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
-		list  = flag.Bool("list", false, "list experiment identifiers and design-space axes")
-		arch  = flag.String("arch", "", "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie")
-		curve = flag.String("curve", "P-256", "curve for -arch runs")
+		all  = flag.Bool("all", false, "regenerate every table and figure")
+		exp  = flag.String("exp", "", "regenerate one experiment (e.g. fig7.1, table7.4)")
+		list = flag.Bool("list", false, "list experiment identifiers and design-space axes")
 
 		sweep    = flag.Bool("sweep", false, "sweep the full design space (10 curves x 5 architectures with cache/line/width/digit sub-sweeps)")
 		pareto   = flag.Bool("pareto", false, "with -sweep: print only the energy-vs-latency Pareto frontier")
@@ -71,10 +70,14 @@ func main() {
 
 		mergeCache = flag.Bool("merge-cache", false, "merge the per-shard result stores in -cache-dir into the canonical single store")
 	)
-	// Every design-space knob (-cache, -prefetch, -ideal-cache,
+	// Every design-space flag is generated from the dse axis registry:
+	// the dimension selectors (-arch, -curve) from the dimension axes,
+	// and every knob (-cache, -prefetch, -ideal-cache,
 	// -no-double-buffer, -width, -digit, -gate-accel-idle, -line,
-	// -workload) is generated from the dse axis registry: registering a
-	// new axis there surfaces its flag here with no per-flag wiring.
+	// -workload) from the option axes. Registering a new axis there
+	// surfaces its flag here with no per-flag wiring.
+	dims := repro.RegisterDimensionFlags(flag.CommandLine)
+	arch, curve := dims["arch"], dims["curve"]
 	applyAxes := repro.RegisterAxisFlags(flag.CommandLine)
 	flag.Parse()
 	// The workload flag doubles as the sweep-mode axis list, so its raw
@@ -195,9 +198,14 @@ func main() {
 		}
 		fmt.Print(out)
 	case *arch != "":
-		a, ok := parseArch(*arch)
-		if !ok {
-			fmt.Fprintf(os.Stderr, "unknown architecture %q\n", *arch)
+		a, err := repro.ParseArchitecture(*arch)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		curveName, err := repro.ParseCurveName(*curve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		opt := repro.DefaultOptions()
@@ -207,7 +215,7 @@ func main() {
 			reg = repro.NewMetrics()
 			repro.EnableSimMetrics(reg)
 		}
-		r, err := repro.Simulate(a, *curve, opt)
+		r, err := repro.Simulate(a, curveName, opt)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -446,22 +454,6 @@ func parseShard(s string) (index, count int, err error) {
 		return 0, 0, fmt.Errorf("bad -shard %q: want i/n with 0 <= i < n (e.g. 0/2)", s)
 	}
 	return index, count, nil
-}
-
-func parseArch(s string) (repro.Architecture, bool) {
-	switch strings.ToLower(s) {
-	case "baseline":
-		return repro.ArchBaseline, true
-	case "isa-ext", "isaext":
-		return repro.ArchISAExt, true
-	case "isa-ext+icache", "icache":
-		return repro.ArchISAExtCache, true
-	case "monte":
-		return repro.ArchMonte, true
-	case "billie":
-		return repro.ArchBillie, true
-	}
-	return 0, false
 }
 
 func printResult(r repro.SimResult) {

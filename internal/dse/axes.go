@@ -6,26 +6,44 @@ import (
 	"strconv"
 	"strings"
 
+	"repro/internal/ec"
 	"repro/internal/sim"
 )
 
-// This file is the single point of registration for design-space option
-// axes. One Axis value declares everything the stack needs to know about
-// a knob — its canonical key token and elision rule, its default, which
-// architectures it is relevant to, how it reads/writes sim.Options and
-// SweepSpec, its value-domain check (shared with sim.Run's validation),
-// its human label fragment, its JSON rendering, and its CLI flag — and
-// every layer (Config.Canonical/Key/OptionsLabel, SweepSpec.normalized/
-// Validate/RawPoints/Expand, Point.ToJSON, cmd/dse's flag set and -list
-// help) iterates the registry instead of hand-written field lists.
+// This file is the single point of registration for design-space axes.
+// One Axis value declares everything the stack needs to know about a
+// dimension or a knob — its canonical key token and elision rule, its
+// default, which architectures it is relevant to, how it reads/writes
+// the Config and SweepSpec, its value-domain check (shared with
+// sim.Run's validation), its human label fragment, its JSON rendering,
+// its CLI flag, and its search-strategy metadata — and every layer
+// (Config.Canonical/Key/OptionsLabel/Valid, SweepSpec.normalized/
+// Validate/RawPoints/PrunedPoints/Expand, Point.ToJSON, cmd/dse's flag
+// set and -list help) iterates the registry instead of hand-written
+// field lists.
 //
-// Adding an axis therefore means: one field on sim.Options (with its
-// model), one slice field on SweepSpec, one field on PointJSON, and one
-// entry below. Nothing else in the repository names the knob. The
+// Axes come in two classes:
+//
+//   - Dimension axes (Dimension: true) identify *what* is simulated —
+//     the architecture and the curve. They write Config.Arch /
+//     Config.Curve rather than an Options field, render the leading key
+//     tokens, own the cross-dimension validity rule (validWith), and
+//     surface on the CLI as selection flags (-arch, -curve) with a
+//     declared parse/format rather than through RegisterAxisFlags.
+//   - Option axes identify *how* it is configured — every tuning knob.
+//     They write one sim.Options field each and surface through
+//     RegisterAxisFlags.
+//
+// Adding an option axis therefore means: one field on sim.Options (with
+// its model), one slice field on SweepSpec, one field on PointJSON, and
+// one entry below. Nothing else in the repository names the knob. The
 // CacheLineBytes axis is the proof: it was added through this registry
 // alone. Registry order is load-bearing twice over: it is the canonical
 // key token order (changing it changes every config hash) and the
-// Expand odometer order (last entry varies fastest).
+// Expand odometer order (last entry varies fastest). Dimension axes
+// MUST come first — they render the "arch=… curve=…" key prefix every
+// stored hash starts from; TestRegistryOrderPinned enforces both
+// invariants by name.
 //
 // A new axis MUST declare its archRelevant predicate alongside
 // relevant. Factored expansion only enumerates an axis on the
@@ -35,8 +53,15 @@ import (
 // becomes N points. The predicate must over-approximate relevant
 // (never be false where relevant can be true); the factored-vs-brute
 // equivalence tests catch a violation.
+//
+// Every axis MUST also declare its Strategy block — the scale hint and
+// monotone-prunability flag adaptive exploration strategies read to
+// decide how to refine or prune along the axis. The zero Scale value is
+// deliberately invalid so an undeclared strategy fails the registry
+// test instead of silently meaning something.
 
-// Axis declares one design-space option knob.
+// Axis declares one design-space axis: a dimension (architecture,
+// curve) or an option knob.
 type Axis struct {
 	// Name identifies the axis in documentation and help text.
 	Name string
@@ -44,11 +69,24 @@ type Axis struct {
 	Doc string
 	// Domain describes the accepted values for generated help.
 	Domain string
-	// Flag is the CLI flag cmd/dse generates for the axis.
+	// Flag is the CLI flag cmd/dse generates for the axis. Option axes
+	// register through RegisterAxisFlags; dimension axes through
+	// RegisterDimensionFlags (they select what to run rather than tune
+	// an Options value).
 	Flag FlagSpec
+	// Dimension marks an axis that identifies the simulated design
+	// (architecture, curve) rather than tuning it. Dimension axes render
+	// their key tokens first, carry the cross-dimension validity rule,
+	// and are excluded from the option-axis surfaces (RegisterAxisFlags,
+	// RelevantAxes, OptionsLabel).
+	Dimension bool
+	// Strategy is the axis's search-strategy metadata: how an adaptive
+	// exploration should step along it and whether it may prune by
+	// monotonicity. Mandatory — the registry test rejects a zero Scale.
+	Strategy Strategy
 
-	// normalize fills the axis's SweepSpec field with its single-value
-	// default set when unset (nil/empty).
+	// normalize fills the axis's SweepSpec field with its default set
+	// when unset (nil/empty).
 	normalize func(s *SweepSpec)
 	// values returns the axis's SweepSpec values, unboxed, for the
 	// expansion odometer; call on a normalized spec.
@@ -57,13 +95,24 @@ type Axis struct {
 	// sim.Check* the simulator's own validation runs); nil means every
 	// value of the type is in-model.
 	check func(v axisValue) error
-	// set writes one value into the options.
-	set func(o *sim.Options, v axisValue)
+	// set writes one value into the config (a dimension field or one
+	// sim.Options field).
+	set func(c *Config, v axisValue)
 
-	// canon rewrites the option toward its canonical form (zero-value →
-	// default, or default → elided zero); nil means the zero value is
-	// already canonical. It reads and writes only the axis's own field.
-	canon func(o *sim.Options)
+	// parse converts one CLI string into an axis value, rejecting
+	// out-of-domain input with an error that lists the valid values.
+	// Declared by dimension axes (option axes parse through the typed
+	// flag machinery in RegisterAxisFlags).
+	parse func(s string) (axisValue, error)
+	// format renders one axis value as its canonical CLI spelling (the
+	// inverse of parse).
+	format func(v axisValue) string
+
+	// canon rewrites the axis value toward its canonical form
+	// (zero-value → default, or default → elided zero); nil means the
+	// zero value is already canonical. It reads and writes only the
+	// axis's own field.
+	canon func(c *Config)
 	// relevant reports whether the knob physically exists on the
 	// config's architecture (evaluated after every canon has run); nil
 	// means always relevant.
@@ -81,27 +130,91 @@ type Axis struct {
 	// architecture's factored grid, it cannot produce wrong configs.
 	archRelevant func(a sim.Arch) bool
 	// clear forces the knob to its irrelevant zero value.
-	clear func(o *sim.Options)
+	clear func(c *Config)
+
+	// validWith is the axis's cross-axis validity constraint: false
+	// means the config's dimension values cannot be combined (Monte is a
+	// prime-field accelerator, Billie a binary-field one). Config.Valid
+	// is the conjunction of every registered validWith, and factored
+	// expansion hoists the check to the dimension odometer — so a
+	// constraint must depend only on dimension values. nil means the
+	// axis constrains nothing.
+	validWith func(c *Config) bool
 
 	// appendKey appends the canonical key token (" cache=4096", leading
-	// space included) to dst, or returns dst unchanged to elide the
-	// token, which is how a new axis keeps every pre-existing key and
-	// hash byte-identical at its default. Append-style so the whole key
-	// renders into one preallocated buffer with no per-token strings.
-	appendKey func(dst []byte, o *sim.Options) []byte
+	// space included; the first dimension axis omits it) to dst, or
+	// returns dst unchanged to elide the token, which is how a new axis
+	// keeps every pre-existing key and hash byte-identical at its
+	// default. Append-style so the whole key renders into one
+	// preallocated buffer with no per-token strings.
+	appendKey func(dst []byte, c *Config) []byte
 	// label renders the OptionsLabel fragment; attach appends it to the
 	// previous fragment without a space ("4KB"+"+pf"). Empty means no
-	// fragment.
+	// fragment. Dimension axes render identity fragments ("monte",
+	// "P-256") for full-config labels; OptionsLabel skips them.
 	label func(c *Config) (frag string, attach bool)
-	// toJSON copies the canonical option value into the wire form.
+	// toJSON copies the canonical axis value into the wire form.
 	toJSON func(c *Config, j *PointJSON)
+}
+
+// Scale is an axis's search-scale hint: how an adaptive exploration
+// strategy should step along the axis when refining the design space.
+type Scale int
+
+const (
+	// ScaleUnset is the invalid zero value. Every registered axis must
+	// declare its scale explicitly; the registry test rejects an unset
+	// one so "forgot to think about it" cannot ship as metadata.
+	ScaleUnset Scale = iota
+	// ScaleEnumerated marks a discrete, unordered value set (bools,
+	// names, architectures): a strategy explores members, it cannot
+	// interpolate or bisect between them.
+	ScaleEnumerated
+	// ScaleLinear marks a numerically ordered axis refined in unit or
+	// linear steps (the Billie digit size 1..8).
+	ScaleLinear
+	// ScaleLog2 marks a power-of-two axis refined by doubling/halving
+	// (cache capacity, line size, datapath width).
+	ScaleLog2
+)
+
+// String names the scale for help text and test failure messages.
+func (s Scale) String() string {
+	switch s {
+	case ScaleEnumerated:
+		return "enumerated"
+	case ScaleLinear:
+		return "linear"
+	case ScaleLog2:
+		return "log2"
+	default:
+		return fmt.Sprintf("unset(%d)", int(s))
+	}
+}
+
+// Strategy is the per-axis search-strategy metadata the adaptive
+// exploration arc consumes: every axis declares how it is stepped and
+// whether a strategy may prune it by monotonicity, so a refinement
+// loop needs no per-axis special cases.
+type Strategy struct {
+	// Scale is the step rule for refining along the axis.
+	Scale Scale
+	// MonotonePrunable marks an axis whose figures of merit respond
+	// monotonically along its ordering — once one endpoint dominates,
+	// the rest of the range can be pruned without simulating it.
+	// Enabling double buffering never slows Monte down, and gating an
+	// idle accelerator never costs energy; cache capacity, by
+	// contrast, trades area/leakage against misses and has interior
+	// optima, so it is not prunable.
+	MonotonePrunable bool
 }
 
 // axisValue carries one axis value through the expansion inner loop
 // without boxing: the odometer used to build one interface value per
 // axis per raw point (3.9 M allocations on a FullSweep expansion); a
 // small tagged struct is copied instead. The tag reuses the FlagKind
-// discriminants.
+// discriminants; the arch dimension rides in the int field as the
+// sim.Arch ordinal.
 type axisValue struct {
 	kind FlagKind
 	i    int
@@ -112,6 +225,10 @@ type axisValue struct {
 func intVal(v int) axisValue       { return axisValue{kind: FlagInt, i: v} }
 func boolVal(v bool) axisValue     { return axisValue{kind: FlagBool, b: v} }
 func stringVal(v string) axisValue { return axisValue{kind: FlagString, s: v} }
+
+// archVal carries a sim.Arch as an axis value (ordinal in the int
+// field; the CLI-facing form is the string name via parse/format).
+func archVal(a sim.Arch) axisValue { return axisValue{kind: FlagInt, i: int(a)} }
 
 // FlagKind selects the CLI flag type generated for an axis.
 type FlagKind int
@@ -159,17 +276,159 @@ func stringVals(vs []string) []axisValue {
 	return out
 }
 
-// axes is the registry, in canonical key-token order (which is also the
-// Expand odometer order: the last axis varies fastest). The order and
-// token spellings reproduce the PR-1..4 hand-written Key exactly; the
-// FuzzConfigHash legacy-rendering check and the FullSweep manifest
-// golden pin that equivalence.
+// evaluatedArchs is the arch dimension's declared value domain and
+// default set: the paper's five evaluated architectures, in Figure 1.1
+// spectrum order. This order is the arch-major expansion order and so
+// part of the manifest contract.
+var evaluatedArchs = []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte, sim.WithBillie}
+
+// AllArchs lists the paper's five evaluated architectures — the arch
+// dimension axis's declared default set.
+func AllArchs() []sim.Arch {
+	return append([]sim.Arch{}, evaluatedArchs...)
+}
+
+// archNames renders the evaluated architectures' canonical CLI names
+// straight off the domain slice. The arch axis's parse closure uses
+// this rather than the exported ArchNames because the latter resolves
+// archAxis from the registry — a reference that would be an
+// initialization cycle inside the registry literal itself.
+func archNames() []string {
+	out := make([]string, len(evaluatedArchs))
+	for i, a := range evaluatedArchs {
+		out[i] = a.String()
+	}
+	return out
+}
+
+// ArchNames lists the canonical CLI spellings of the evaluated
+// architectures, in domain order, via the arch axis's format.
+func ArchNames() []string {
+	out := make([]string, len(evaluatedArchs))
+	for i, a := range evaluatedArchs {
+		out[i] = archAxis.format(archVal(a))
+	}
+	return out
+}
+
+// AllCurves lists all ten NIST curves, primes first — the curve
+// dimension axis's declared value domain and default set.
+func AllCurves() []string {
+	out := append([]string{}, ec.PrimeCurveNames...)
+	return append(out, ec.BinaryCurveNames...)
+}
+
+// checkCurveName is the curve axis's domain check, shared between
+// sweep validation and CLI parsing so a typo is rejected with the
+// identical message on every path.
+func checkCurveName(name string) error {
+	if !ec.KnownCurve(name) {
+		return fmt.Errorf("unknown curve %q (want one of %v)", name, AllCurves())
+	}
+	return nil
+}
+
+// axes is the registry: the dimension axes first (they render the
+// "arch=… curve=…" key prefix), then the option axes in canonical
+// key-token order (which is also the Expand odometer order: the last
+// axis varies fastest). The order and token spellings reproduce the
+// PR-1..4 hand-written Key exactly; the FuzzConfigHash legacy-rendering
+// check, the FullSweep manifest golden, and TestRegistryOrderPinned pin
+// that equivalence.
 var axes = []*Axis{
 	{
-		Name:   "cache",
-		Doc:    "I-cache capacity (cached architectures only)",
-		Domain: fmt.Sprintf("%d..%d bytes", sim.MinCacheBytes, sim.MaxCacheBytes),
-		Flag:   FlagSpec{Name: "cache", Kind: FlagInt, DefInt: 4096, Usage: "I-cache bytes for cached configurations"},
+		Name:      "arch",
+		Doc:       "architecture on the Figure 1.1 acceleration spectrum",
+		Domain:    "baseline, isa-ext, isa-ext+icache, monte, billie",
+		Flag:      FlagSpec{Name: "arch", Kind: FlagString, Usage: "run one configuration: baseline, isa-ext, isa-ext+icache, monte, billie"},
+		Dimension: true,
+		Strategy:  Strategy{Scale: ScaleEnumerated},
+		normalize: func(s *SweepSpec) {
+			if len(s.Archs) == 0 {
+				s.Archs = AllArchs()
+			}
+		},
+		values: func(s *SweepSpec) []axisValue {
+			out := make([]axisValue, len(s.Archs))
+			for i, a := range s.Archs {
+				out[i] = archVal(a)
+			}
+			return out
+		},
+		set: func(c *Config, v axisValue) { c.Arch = sim.Arch(v.i) },
+		parse: func(s string) (axisValue, error) {
+			name := strings.ToLower(s)
+			for _, a := range evaluatedArchs {
+				if name == a.String() {
+					return archVal(a), nil
+				}
+			}
+			// Historical short spellings, kept from the pre-registry CLI.
+			switch name {
+			case "isaext":
+				return archVal(sim.ISAExt), nil
+			case "icache":
+				return archVal(sim.ISAExtCache), nil
+			}
+			return axisValue{}, fmt.Errorf("unknown architecture %q (want one of %s)", s, strings.Join(archNames(), ", "))
+		},
+		format: func(v axisValue) string { return sim.Arch(v.i).String() },
+		// The first key token: no leading space, reproducing the
+		// hand-written "arch=…" prefix every stored hash starts from.
+		appendKey: func(dst []byte, c *Config) []byte {
+			dst = append(dst, "arch="...)
+			return append(dst, c.Arch.String()...)
+		},
+		label:  func(c *Config) (string, bool) { return c.Arch.String(), false },
+		toJSON: func(c *Config, j *PointJSON) { j.Arch = c.Arch.String() },
+	},
+	{
+		Name:      "curve",
+		Doc:       "NIST curve (P-* prime field, B-* binary field)",
+		Domain:    strings.Join(ec.PrimeCurveNames, ", ") + ", " + strings.Join(ec.BinaryCurveNames, ", "),
+		Flag:      FlagSpec{Name: "curve", Kind: FlagString, DefString: "P-256", Usage: "curve for -arch runs"},
+		Dimension: true,
+		Strategy:  Strategy{Scale: ScaleEnumerated},
+		normalize: func(s *SweepSpec) {
+			if len(s.Curves) == 0 {
+				s.Curves = AllCurves()
+			}
+		},
+		values: func(s *SweepSpec) []axisValue { return stringVals(s.Curves) },
+		check:  func(v axisValue) error { return checkCurveName(v.s) },
+		set:    func(c *Config, v axisValue) { c.Curve = v.s },
+		parse: func(s string) (axisValue, error) {
+			if err := checkCurveName(s); err != nil {
+				return axisValue{}, err
+			}
+			return stringVal(s), nil
+		},
+		format: func(v axisValue) string { return v.s },
+		// The architecture/curve compatibility rule (Section 7.x): Monte
+		// is a prime-field accelerator, Billie a binary-field one; every
+		// other architecture runs both families in software. Declared
+		// here — on the axis whose value picks the field — so
+		// Config.Valid and the expansion's hoisted dimension prune both
+		// consume it generically.
+		validWith: func(c *Config) bool {
+			if sim.IsPrimeCurve(c.Curve) {
+				return c.Arch != sim.WithBillie
+			}
+			return !c.Arch.HasMonte()
+		},
+		appendKey: func(dst []byte, c *Config) []byte {
+			dst = append(dst, " curve="...)
+			return append(dst, c.Curve...)
+		},
+		label:  func(c *Config) (string, bool) { return c.Curve, false },
+		toJSON: func(c *Config, j *PointJSON) { j.Curve = c.Curve },
+	},
+	{
+		Name:     "cache",
+		Doc:      "I-cache capacity (cached architectures only)",
+		Domain:   fmt.Sprintf("%d..%d bytes", sim.MinCacheBytes, sim.MaxCacheBytes),
+		Flag:     FlagSpec{Name: "cache", Kind: FlagInt, DefInt: 4096, Usage: "I-cache bytes for cached configurations"},
+		Strategy: Strategy{Scale: ScaleLog2},
 		normalize: func(s *SweepSpec) {
 			if len(s.CacheBytes) == 0 {
 				s.CacheBytes = []int{4096}
@@ -177,18 +436,18 @@ var axes = []*Axis{
 		},
 		values: func(s *SweepSpec) []axisValue { return intVals(s.CacheBytes) },
 		check:  func(v axisValue) error { return sim.CheckCacheBytes(v.i) },
-		set:    func(o *sim.Options, v axisValue) { o.CacheBytes = v.i },
-		canon: func(o *sim.Options) {
-			if o.CacheBytes == 0 {
-				o.CacheBytes = 4096
+		set:    func(c *Config, v axisValue) { c.Opt.CacheBytes = v.i },
+		canon: func(c *Config) {
+			if c.Opt.CacheBytes == 0 {
+				c.Opt.CacheBytes = 4096
 			}
 		},
 		relevant:     func(c *Config) bool { return c.Arch.HasCache() },
 		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
-		clear:        func(o *sim.Options) { o.CacheBytes = 0 },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.CacheBytes = 0 },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " cache="...)
-			return strconv.AppendInt(dst, int64(o.CacheBytes), 10)
+			return strconv.AppendInt(dst, int64(c.Opt.CacheBytes), 10)
 		},
 		label: func(c *Config) (string, bool) {
 			if !c.Arch.HasCache() {
@@ -199,26 +458,27 @@ var axes = []*Axis{
 		toJSON: func(c *Config, j *PointJSON) { j.CacheBytes = c.Opt.CacheBytes },
 	},
 	{
-		Name:   "prefetch",
-		Doc:    "stream-buffer prefetcher (Section 5.3.3)",
-		Domain: "bool",
-		Flag:   FlagSpec{Name: "prefetch", Kind: FlagBool, Usage: "enable the stream-buffer prefetcher"},
+		Name:     "prefetch",
+		Doc:      "stream-buffer prefetcher (Section 5.3.3)",
+		Domain:   "bool",
+		Flag:     FlagSpec{Name: "prefetch", Kind: FlagBool, Usage: "enable the stream-buffer prefetcher"},
+		Strategy: Strategy{Scale: ScaleEnumerated},
 		normalize: func(s *SweepSpec) {
 			if len(s.Prefetch) == 0 {
 				s.Prefetch = []bool{false}
 			}
 		},
 		values: func(s *SweepSpec) []axisValue { return boolVals(s.Prefetch) },
-		set:    func(o *sim.Options, v axisValue) { o.Prefetch = v.b },
+		set:    func(c *Config, v axisValue) { c.Opt.Prefetch = v.b },
 		// A never-miss cache has no misses to prefetch for. The
 		// ideal-cache condition is value-level, so the arch bound keeps
 		// only the HasCache half.
 		relevant:     func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
 		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
-		clear:        func(o *sim.Options) { o.Prefetch = false },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.Prefetch = false },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " pf="...)
-			return strconv.AppendBool(dst, o.Prefetch)
+			return strconv.AppendBool(dst, c.Opt.Prefetch)
 		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.Prefetch {
@@ -229,23 +489,24 @@ var axes = []*Axis{
 		toJSON: func(c *Config, j *PointJSON) { j.Prefetch = c.Opt.Prefetch },
 	},
 	{
-		Name:   "ideal-cache",
-		Doc:    "never-miss cache bound (Figure 7.11)",
-		Domain: "bool",
-		Flag:   FlagSpec{Name: "ideal-cache", Kind: FlagBool, Usage: "model the never-miss I-cache bound (Figure 7.11)"},
+		Name:     "ideal-cache",
+		Doc:      "never-miss cache bound (Figure 7.11)",
+		Domain:   "bool",
+		Flag:     FlagSpec{Name: "ideal-cache", Kind: FlagBool, Usage: "model the never-miss I-cache bound (Figure 7.11)"},
+		Strategy: Strategy{Scale: ScaleEnumerated},
 		normalize: func(s *SweepSpec) {
 			if len(s.IdealCache) == 0 {
 				s.IdealCache = []bool{false}
 			}
 		},
 		values:       func(s *SweepSpec) []axisValue { return boolVals(s.IdealCache) },
-		set:          func(o *sim.Options, v axisValue) { o.IdealCache = v.b },
+		set:          func(c *Config, v axisValue) { c.Opt.IdealCache = v.b },
 		relevant:     func(c *Config) bool { return c.Arch.HasCache() },
 		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
-		clear:        func(o *sim.Options) { o.IdealCache = false },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.IdealCache = false },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " ideal="...)
-			return strconv.AppendBool(dst, o.IdealCache)
+			return strconv.AppendBool(dst, c.Opt.IdealCache)
 		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.IdealCache {
@@ -260,19 +521,22 @@ var axes = []*Axis{
 		Doc:    "Monte DMA/compute overlap (Section 7.7)",
 		Domain: "bool",
 		Flag:   FlagSpec{Name: "no-double-buffer", Kind: FlagBool, Invert: true, Usage: "disable Monte double buffering"},
+		// Overlapping DMA with compute never slows the kernel: once the
+		// enabled endpoint dominates, the disabled one can be pruned.
+		Strategy: Strategy{Scale: ScaleEnumerated, MonotonePrunable: true},
 		normalize: func(s *SweepSpec) {
 			if len(s.DoubleBuffer) == 0 {
 				s.DoubleBuffer = []bool{true}
 			}
 		},
 		values:       func(s *SweepSpec) []axisValue { return boolVals(s.DoubleBuffer) },
-		set:          func(o *sim.Options, v axisValue) { o.DoubleBuffer = v.b },
+		set:          func(c *Config, v axisValue) { c.Opt.DoubleBuffer = v.b },
 		relevant:     func(c *Config) bool { return c.Arch.HasMonte() },
 		archRelevant: func(a sim.Arch) bool { return a.HasMonte() },
-		clear:        func(o *sim.Options) { o.DoubleBuffer = false },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.DoubleBuffer = false },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " db="...)
-			return strconv.AppendBool(dst, o.DoubleBuffer)
+			return strconv.AppendBool(dst, c.Opt.DoubleBuffer)
 		},
 		label: func(c *Config) (string, bool) {
 			if !c.Arch.HasMonte() || c.Opt.DoubleBuffer {
@@ -287,6 +551,9 @@ var axes = []*Axis{
 		Doc:    "Monte FFAU datapath width (Table 7.3)",
 		Domain: "8/16/32/64 bits",
 		Flag:   FlagSpec{Name: "width", Kind: FlagInt, DefInt: sim.DefaultMonteWidth, Usage: "Monte FFAU datapath width in bits (8/16/32/64)"},
+		// Power-of-two steps; Table 7.3 shows an interior energy
+		// optimum (wider is faster but leakier), so not prunable.
+		Strategy: Strategy{Scale: ScaleLog2},
 		normalize: func(s *SweepSpec) {
 			if len(s.MonteWidths) == 0 {
 				s.MonteWidths = []int{sim.DefaultMonteWidth}
@@ -294,18 +561,18 @@ var axes = []*Axis{
 		},
 		values: func(s *SweepSpec) []axisValue { return intVals(s.MonteWidths) },
 		check:  func(v axisValue) error { return sim.CheckMonteWidth(v.i) },
-		set:    func(o *sim.Options, v axisValue) { o.MonteWidth = v.i },
-		canon: func(o *sim.Options) {
-			if o.MonteWidth == 0 {
-				o.MonteWidth = sim.DefaultMonteWidth
+		set:    func(c *Config, v axisValue) { c.Opt.MonteWidth = v.i },
+		canon: func(c *Config) {
+			if c.Opt.MonteWidth == 0 {
+				c.Opt.MonteWidth = sim.DefaultMonteWidth
 			}
 		},
 		relevant:     func(c *Config) bool { return c.Arch.HasMonte() },
 		archRelevant: func(a sim.Arch) bool { return a.HasMonte() },
-		clear:        func(o *sim.Options) { o.MonteWidth = 0 },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.MonteWidth = 0 },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " w="...)
-			return strconv.AppendInt(dst, int64(o.MonteWidth), 10)
+			return strconv.AppendInt(dst, int64(c.Opt.MonteWidth), 10)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.MonteWidth == 0 || c.Opt.MonteWidth == sim.DefaultMonteWidth {
@@ -320,6 +587,9 @@ var axes = []*Axis{
 		Doc:    "Billie digit-serial multiplier width",
 		Domain: fmt.Sprintf("%d..%d", sim.MinBillieDigit, sim.MaxBillieDigit),
 		Flag:   FlagSpec{Name: "digit", Kind: FlagInt, DefInt: 3, Usage: "Billie multiplier digit size"},
+		// Unit steps 1..8; the energy optimum is interior (bigger
+		// digits cost area and leakage), so not prunable.
+		Strategy: Strategy{Scale: ScaleLinear},
 		normalize: func(s *SweepSpec) {
 			if len(s.BillieDigits) == 0 {
 				s.BillieDigits = []int{3}
@@ -327,18 +597,18 @@ var axes = []*Axis{
 		},
 		values: func(s *SweepSpec) []axisValue { return intVals(s.BillieDigits) },
 		check:  func(v axisValue) error { return sim.CheckBillieDigit(v.i) },
-		set:    func(o *sim.Options, v axisValue) { o.BillieDigit = v.i },
-		canon: func(o *sim.Options) {
-			if o.BillieDigit == 0 {
-				o.BillieDigit = 3
+		set:    func(c *Config, v axisValue) { c.Opt.BillieDigit = v.i },
+		canon: func(c *Config) {
+			if c.Opt.BillieDigit == 0 {
+				c.Opt.BillieDigit = 3
 			}
 		},
 		relevant:     func(c *Config) bool { return c.Arch == sim.WithBillie },
 		archRelevant: func(a sim.Arch) bool { return a == sim.WithBillie },
-		clear:        func(o *sim.Options) { o.BillieDigit = 0 },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.BillieDigit = 0 },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " digit="...)
-			return strconv.AppendInt(dst, int64(o.BillieDigit), 10)
+			return strconv.AppendInt(dst, int64(c.Opt.BillieDigit), 10)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.BillieDigit == 0 {
@@ -353,21 +623,24 @@ var axes = []*Axis{
 		Doc:    "clock/power-gate an idle accelerator (Chapter 8 what-if)",
 		Domain: "bool",
 		Flag:   FlagSpec{Name: "gate-accel-idle", Kind: FlagBool, Usage: "clock/power-gate the accelerator while idle (Chapter 8 what-if)"},
+		// Gating an idle accelerator only removes leakage — the gated
+		// endpoint always dominates, so the axis is prunable.
+		Strategy: Strategy{Scale: ScaleEnumerated, MonotonePrunable: true},
 		normalize: func(s *SweepSpec) {
 			if len(s.GateAccelIdle) == 0 {
 				s.GateAccelIdle = []bool{false}
 			}
 		},
 		values: func(s *SweepSpec) []axisValue { return boolVals(s.GateAccelIdle) },
-		set:    func(o *sim.Options, v axisValue) { o.GateAccelIdle = v.b },
+		set:    func(c *Config, v axisValue) { c.Opt.GateAccelIdle = v.b },
 		relevant: func(c *Config) bool {
 			return c.Arch.HasMonte() || c.Arch == sim.WithBillie
 		},
 		archRelevant: func(a sim.Arch) bool { return a.HasMonte() || a == sim.WithBillie },
-		clear:        func(o *sim.Options) { o.GateAccelIdle = false },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
+		clear:        func(c *Config) { c.Opt.GateAccelIdle = false },
+		appendKey: func(dst []byte, c *Config) []byte {
 			dst = append(dst, " gate="...)
-			return strconv.AppendBool(dst, o.GateAccelIdle)
+			return strconv.AppendBool(dst, c.Opt.GateAccelIdle)
 		},
 		label: func(c *Config) (string, bool) {
 			if !c.Opt.GateAccelIdle {
@@ -378,10 +651,11 @@ var axes = []*Axis{
 		toJSON: func(c *Config, j *PointJSON) { j.GateAccelIdle = c.Opt.GateAccelIdle },
 	},
 	{
-		Name:   "line",
-		Doc:    "I-cache line size (the paper fixes 16 B; Section 5.3)",
-		Domain: fmt.Sprintf("power of two, %d..%d bytes", sim.MinCacheLineBytes, sim.MaxCacheLineBytes),
-		Flag:   FlagSpec{Name: "line", Kind: FlagInt, DefInt: sim.DefaultCacheLineBytes, Usage: "I-cache line size in bytes (power of two; 16 is the Section 5.3 hardware)"},
+		Name:     "line",
+		Doc:      "I-cache line size (the paper fixes 16 B; Section 5.3)",
+		Domain:   fmt.Sprintf("power of two, %d..%d bytes", sim.MinCacheLineBytes, sim.MaxCacheLineBytes),
+		Flag:     FlagSpec{Name: "line", Kind: FlagInt, DefInt: sim.DefaultCacheLineBytes, Usage: "I-cache line size in bytes (power of two; 16 is the Section 5.3 hardware)"},
+		Strategy: Strategy{Scale: ScaleLog2},
 		normalize: func(s *SweepSpec) {
 			if len(s.CacheLineBytes) == 0 {
 				s.CacheLineBytes = []int{sim.DefaultCacheLineBytes}
@@ -389,25 +663,25 @@ var axes = []*Axis{
 		},
 		values: func(s *SweepSpec) []axisValue { return intVals(s.CacheLineBytes) },
 		check:  func(v axisValue) error { return sim.CheckCacheLineBytes(v.i) },
-		set:    func(o *sim.Options, v axisValue) { o.CacheLineBytes = v.i },
+		set:    func(c *Config, v axisValue) { c.Opt.CacheLineBytes = v.i },
 		// The default line canonicalizes to the *elided* zero value —
 		// the reverse of the cache-capacity fill — so every key, hash,
 		// JSON document and disk-store byte that predates the axis is
 		// reproduced exactly.
-		canon: func(o *sim.Options) {
-			if o.CacheLineBytes == sim.DefaultCacheLineBytes {
-				o.CacheLineBytes = 0
+		canon: func(c *Config) {
+			if c.Opt.CacheLineBytes == sim.DefaultCacheLineBytes {
+				c.Opt.CacheLineBytes = 0
 			}
 		},
 		relevant:     func(c *Config) bool { return c.Arch.HasCache() && !c.Opt.IdealCache },
 		archRelevant: func(a sim.Arch) bool { return a.HasCache() },
-		clear:        func(o *sim.Options) { o.CacheLineBytes = 0 },
-		appendKey: func(dst []byte, o *sim.Options) []byte {
-			if o.CacheLineBytes == 0 {
+		clear:        func(c *Config) { c.Opt.CacheLineBytes = 0 },
+		appendKey: func(dst []byte, c *Config) []byte {
+			if c.Opt.CacheLineBytes == 0 {
 				return dst
 			}
 			dst = append(dst, " line="...)
-			return strconv.AppendInt(dst, int64(o.CacheLineBytes), 10)
+			return strconv.AppendInt(dst, int64(c.Opt.CacheLineBytes), 10)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.CacheLineBytes == 0 {
@@ -424,6 +698,7 @@ var axes = []*Axis{
 		Flag: FlagSpec{Name: "workload", Kind: FlagString, Usage: "priced scenario(s): " + strings.Join(sim.Workloads(), ", ") +
 			" (default sign-verify; with -sweep a comma-separated list sets the workload axis" +
 			" to exactly those scenarios, replacing the default — include sign-verify to keep it)"},
+		Strategy: Strategy{Scale: ScaleEnumerated},
 		normalize: func(s *SweepSpec) {
 			if len(s.Workloads) == 0 {
 				s.Workloads = []string{""}
@@ -431,22 +706,22 @@ var axes = []*Axis{
 		},
 		values: func(s *SweepSpec) []axisValue { return stringVals(s.Workloads) },
 		check:  func(v axisValue) error { return sim.CheckWorkload(v.s) },
-		set:    func(o *sim.Options, v axisValue) { o.Workload = v.s },
+		set:    func(c *Config, v axisValue) { c.Opt.Workload = v.s },
 		// The default workload elides to "", so configs predating the
 		// workload axis keep their keys and hashes.
-		canon: func(o *sim.Options) {
-			if o.Workload == sim.WorkloadSignVerify {
-				o.Workload = ""
+		canon: func(c *Config) {
+			if c.Opt.Workload == sim.WorkloadSignVerify {
+				c.Opt.Workload = ""
 			}
 		},
 		// No archRelevant: every architecture prices a workload, so the
 		// factored grid always enumerates this axis.
-		appendKey: func(dst []byte, o *sim.Options) []byte {
-			if o.Workload == "" {
+		appendKey: func(dst []byte, c *Config) []byte {
+			if c.Opt.Workload == "" {
 				return dst
 			}
 			dst = append(dst, " wl="...)
-			return append(dst, o.Workload...)
+			return append(dst, c.Opt.Workload...)
 		},
 		label: func(c *Config) (string, bool) {
 			if c.Opt.Workload == "" {
@@ -458,15 +733,69 @@ var axes = []*Axis{
 	},
 }
 
-// Axes returns the registered design-space option axes in canonical
-// order.
+// archAxis and curveAxis are the dimension entries, resolved once for
+// the parse/format front doors below.
+var (
+	archAxis  = mustAxis("arch")
+	curveAxis = mustAxis("curve")
+)
+
+func mustAxis(name string) *Axis {
+	for _, ax := range axes {
+		if ax.Name == name {
+			return ax
+		}
+	}
+	panic("dse: axis not registered: " + name)
+}
+
+// dimIdx and optIdx hold the registry indices of the dimension and
+// option axes, in registry order — the two iteration surfaces the
+// expansion machinery factors over.
+var dimIdx, optIdx = func() (dims, opts []int) {
+	for i, ax := range axes {
+		if ax.Dimension {
+			dims = append(dims, i)
+		} else {
+			opts = append(opts, i)
+		}
+	}
+	return
+}()
+
+// ParseArch parses a CLI architecture name through the arch axis's
+// declared parser: the canonical names plus the historical short
+// spellings ("isaext", "icache"). A typo fails with an error listing
+// the valid names.
+func ParseArch(s string) (sim.Arch, error) {
+	v, err := archAxis.parse(s)
+	if err != nil {
+		return 0, err
+	}
+	return sim.Arch(v.i), nil
+}
+
+// ParseCurve validates a CLI curve name through the curve axis's
+// declared parser, failing with the same unknown-curve message sweep
+// validation produces.
+func ParseCurve(s string) (string, error) {
+	v, err := curveAxis.parse(s)
+	if err != nil {
+		return "", err
+	}
+	return v.s, nil
+}
+
+// Axes returns the registered design-space axes in canonical order:
+// dimension axes first, then the option axes.
 func Axes() []*Axis { return axes }
 
-// RegisterAxisFlags registers one CLI flag per design-space axis on fs
-// (call before fs.Parse) and returns an apply function that copies the
-// parsed values into an Options. Flag names, defaults and usage strings
-// all come from the registry, so a new axis surfaces on the CLI without
-// touching cmd/dse.
+// RegisterAxisFlags registers one CLI flag per design-space *option*
+// axis on fs (call before fs.Parse) and returns an apply function that
+// copies the parsed values into an Options. Flag names, defaults and
+// usage strings all come from the registry, so a new knob surfaces on
+// the CLI without touching cmd/dse. Dimension axes are selection, not
+// tuning — register theirs with RegisterDimensionFlags.
 func RegisterAxisFlags(fs *flag.FlagSet) func(o *sim.Options) {
 	type bound struct {
 		ax *Axis
@@ -474,8 +803,9 @@ func RegisterAxisFlags(fs *flag.FlagSet) func(o *sim.Options) {
 		b  *bool
 		s  *string
 	}
-	bounds := make([]bound, 0, len(axes))
-	for _, ax := range axes {
+	bounds := make([]bound, 0, len(optIdx))
+	for _, i := range optIdx {
+		ax := axes[i]
 		f := ax.Flag
 		bd := bound{ax: ax}
 		switch f.Kind {
@@ -489,31 +819,50 @@ func RegisterAxisFlags(fs *flag.FlagSet) func(o *sim.Options) {
 		bounds = append(bounds, bd)
 	}
 	return func(o *sim.Options) {
+		c := Config{Opt: *o}
 		for _, bd := range bounds {
 			switch {
 			case bd.i != nil:
-				bd.ax.set(o, intVal(*bd.i))
+				bd.ax.set(&c, intVal(*bd.i))
 			case bd.b != nil:
 				v := *bd.b
 				if bd.ax.Flag.Invert {
 					v = !v
 				}
-				bd.ax.set(o, boolVal(v))
+				bd.ax.set(&c, boolVal(v))
 			case bd.s != nil:
-				bd.ax.set(o, stringVal(*bd.s))
+				bd.ax.set(&c, stringVal(*bd.s))
 			}
 		}
+		*o = c.Opt
 	}
 }
 
-// RelevantAxes lists the names of the axes whose arch-level relevance
-// bound admits architecture a — the axes factored expansion actually
-// enumerates for that architecture. Tests pin the per-architecture
-// counts so an axis that forgets its archRelevant predicate (and so
-// silently re-inflates every architecture's grid) fails loudly.
+// RegisterDimensionFlags registers the dimension axes' CLI flags
+// (-arch, -curve) on fs from their registry specs and returns the
+// bound values keyed by flag name. Dimension flags select what to run
+// rather than tune an Options value, so they bypass RegisterAxisFlags'
+// apply function; convert the parsed strings with ParseArch /
+// ParseCurve, which reject typos with the registry's guidance.
+func RegisterDimensionFlags(fs *flag.FlagSet) map[string]*string {
+	out := make(map[string]*string, len(dimIdx))
+	for _, i := range dimIdx {
+		f := axes[i].Flag
+		out[f.Name] = fs.String(f.Name, f.DefString, f.Usage)
+	}
+	return out
+}
+
+// RelevantAxes lists the names of the option axes whose arch-level
+// relevance bound admits architecture a — the axes factored expansion
+// actually enumerates for that architecture (dimension axes are the
+// factoring, not the factored). Tests pin the per-architecture counts
+// so an axis that forgets its archRelevant predicate (and so silently
+// re-inflates every architecture's grid) fails loudly.
 func RelevantAxes(a sim.Arch) []string {
 	var out []string
-	for _, ax := range axes {
+	for _, i := range optIdx {
+		ax := axes[i]
 		if ax.archRelevant == nil || ax.archRelevant(a) {
 			out = append(out, ax.Name)
 		}
@@ -521,19 +870,21 @@ func RelevantAxes(a sim.Arch) []string {
 	return out
 }
 
-// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates,
-// in registry order — for CLIs that need to tell axis flags apart from
-// their own (e.g. to reject an axis flag in a mode that ignores it).
+// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates
+// (option axes only), in registry order — for CLIs that need to tell
+// axis flags apart from their own (e.g. to reject an option flag in a
+// mode that ignores it).
 func AxisFlagNames() []string {
-	out := make([]string, len(axes))
-	for i, ax := range axes {
-		out[i] = ax.Flag.Name
+	out := make([]string, len(optIdx))
+	for i, j := range optIdx {
+		out[i] = axes[j].Flag.Name
 	}
 	return out
 }
 
-// AxesHelp renders the axis registry as help text: one line per knob
-// with its CLI flag, description and value domain.
+// AxesHelp renders the axis registry as help text: one line per axis —
+// dimensions first, then the option knobs — with its CLI flag,
+// description and value domain.
 func AxesHelp() string {
 	var b strings.Builder
 	for _, ax := range axes {

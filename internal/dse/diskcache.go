@@ -112,6 +112,26 @@ type diskEntry struct {
 	Result sim.Result `json:"result"`
 }
 
+// loadEntry is the decode-side view of diskEntry: it omits the Key
+// field so the warm-load path never allocates and copies the audit
+// string it would immediately discard (encoding/json skips JSON fields
+// with no struct destination).
+type loadEntry struct {
+	Hash   string     `json:"hash"`
+	Result sim.Result `json:"result"`
+}
+
+// scanBufPool recycles LoadFile's scanner buffer across loads: the
+// store is read once per sweep per shard file, and a fresh 64 KB
+// allocation per call was the single largest allocation on the
+// decode-bound warm-disk path (BenchmarkStoreLoad).
+var scanBufPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 64*1024)
+		return &b
+	},
+}
+
 // DiskCachePath returns the store path inside a cache directory.
 func DiskCachePath(dir string) string { return filepath.Join(dir, DiskCacheFile) }
 
@@ -132,8 +152,10 @@ func (c *Cache) LoadFile(path string) (int, error) {
 	}
 	defer f.Close()
 
+	buf := scanBufPool.Get().(*[]byte)
+	defer scanBufPool.Put(buf)
 	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	sc.Buffer(*buf, 4*1024*1024)
 	if !sc.Scan() {
 		if err := sc.Err(); err != nil {
 			return 0, fmt.Errorf("dse: read result cache: %w", err)
@@ -148,8 +170,13 @@ func (c *Cache) LoadFile(path string) (int, error) {
 	}
 
 	n := 0
+	// One entry struct for the whole load, reset per line. The reset is
+	// mandatory, not just hygiene: Unmarshal reuses an existing
+	// Result.Phases backing array when capacity allows, and the previous
+	// line's Result — already stored in the cache map — shares it.
+	var e loadEntry
 	for sc.Scan() {
-		var e diskEntry
+		e = loadEntry{}
 		if err := json.Unmarshal(sc.Bytes(), &e); err != nil || e.Hash == "" {
 			return n, nil // truncated/corrupted tail: keep what parsed so far
 		}

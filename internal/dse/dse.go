@@ -28,12 +28,15 @@
 // MergeStores + AssembleFromStore combine the shard stores and rebuild
 // the full result with zero re-simulation.
 //
-// Every option axis is declared once in the axis registry (axes.go):
-// canonicalization, key rendering, sweep expansion, validation, labels,
-// JSON and the CLI flag set are all registry-driven, so adding a knob is
-// one registry entry plus its sim.Options/SweepSpec/PointJSON fields.
-// The FullSweep manifest golden (testdata/fullsweep.keys.golden) pins
-// every canonical key and hash of the full grid.
+// Every axis — the arch and curve dimensions as much as the option
+// knobs — is declared once in the axis registry (axes.go):
+// canonicalization, key rendering, sweep expansion, validity (the
+// registry's validWith cross-constraints), validation, labels, JSON,
+// the CLI flag set, and the per-axis search-strategy metadata are all
+// registry-driven, so adding a knob is one registry entry plus its
+// sim.Options/SweepSpec/PointJSON fields. The FullSweep manifest golden
+// (testdata/fullsweep.keys.golden) pins every canonical key and hash of
+// the full grid.
 package dse
 
 import (
@@ -88,12 +91,12 @@ func (c Config) Canonical() Config {
 func (c *Config) canonicalize() {
 	for _, ax := range axes {
 		if ax.canon != nil {
-			ax.canon(&c.Opt)
+			ax.canon(c)
 		}
 	}
 	for _, ax := range axes {
 		if ax.relevant != nil && !ax.relevant(c) {
-			ax.clear(&c.Opt)
+			ax.clear(c)
 		}
 	}
 }
@@ -141,16 +144,14 @@ var keyScratchPool = sync.Pool{
 }
 
 // appendKeyTo appends the key rendering of an already-canonical config
-// to dst. Each axis appends its own token (or elides it) straight into
-// the shared buffer, so a render is two allocations from cold and zero
+// to dst: one token per registered axis in registry order, the
+// dimension axes leading (arch renders the spaceless first token).
+// Each axis appends its own token (or elides it) straight into the
+// shared buffer, so a render is two allocations from cold and zero
 // when the caller reuses the buffer.
 func (c *Config) appendKeyTo(dst []byte) []byte {
-	dst = append(dst, "arch="...)
-	dst = append(dst, c.Arch.String()...)
-	dst = append(dst, " curve="...)
-	dst = append(dst, c.Curve...)
 	for _, ax := range axes {
-		dst = ax.appendKey(dst, &c.Opt)
+		dst = ax.appendKey(dst, c)
 	}
 	return dst
 }
@@ -182,7 +183,10 @@ func (c Config) OptionsLabel() string {
 	cc := c.Canonical()
 	var parts []string
 	for _, ax := range axes {
-		if ax.label == nil {
+		// Dimension fragments (the arch and curve names) identify the
+		// config rather than describe its options; reports render them
+		// as row/column headers, so the options label skips them.
+		if ax.label == nil || ax.Dimension {
 			continue
 		}
 		frag, attach := ax.label(&cc)
@@ -198,14 +202,20 @@ func (c Config) OptionsLabel() string {
 	return strings.Join(parts, " ")
 }
 
-// Valid reports whether the architecture can run the curve: Monte is a
+// Valid reports whether the config's dimension values can be combined:
+// the conjunction of every registered axis's validWith cross-constraint
+// (today just the curve axis's field-compatibility rule — Monte is a
 // prime-field accelerator, Billie a binary-field one; every other
-// configuration runs both families in software.
+// configuration runs both families in software). Constraints depend
+// only on dimension values, which is what lets Expand hoist this check
+// out of the option grid.
 func (c Config) Valid() bool {
-	if sim.IsPrimeCurve(c.Curve) {
-		return c.Arch != sim.WithBillie
+	for _, ax := range axes {
+		if ax.validWith != nil && !ax.validWith(&c) {
+			return false
+		}
 	}
-	return !c.Arch.HasMonte()
+	return true
 }
 
 // securityBitsPerLevel is the NIST symmetric-equivalent strength of each

@@ -85,16 +85,15 @@ type LevelFrontierJSON struct {
 // ToJSON converts a point to its wire form. Phases are included only for
 // non-default workloads: the default Sign+Verify phase split is already
 // carried by signCycles/verifyCycles, and omitting it keeps the wire
-// form of pre-workload-axis sweeps unchanged. Every option field is
-// rendered from the canonical config by the axis registry, so a
-// caller-built non-canonical point (e.g. CacheBytes left 0 on a cached
-// arch) emits the same option values its own hash was computed under,
-// and a new axis needs no rendering site beyond its registry entry.
+// form of pre-workload-axis sweeps unchanged. Every axis field — the
+// arch and curve dimensions included — is rendered from the canonical
+// config by the axis registry, so a caller-built non-canonical point
+// (e.g. CacheBytes left 0 on a cached arch) emits the same option
+// values its own hash was computed under, and a new axis needs no
+// rendering site beyond its registry entry.
 func (p Point) ToJSON() PointJSON {
 	cc := p.Config.Canonical()
 	out := PointJSON{
-		Arch:         cc.Arch.String(),
-		Curve:        cc.Curve,
 		Hash:         cc.Hash(),
 		SecLevel:     p.SecLevel,
 		SecurityBits: p.SecurityBits,

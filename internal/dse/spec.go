@@ -3,22 +3,23 @@ package dse
 import (
 	"fmt"
 
-	"repro/internal/ec"
 	"repro/internal/sim"
 )
 
 // SweepSpec declares a region of the design space as sets per axis. The
-// cross-product of all axes is explored; points whose architecture cannot
-// run the curve (Monte on binary fields, Billie on prime fields) are
-// pruned, and points that canonicalize to the same physical configuration
-// (e.g. cache-size variants of an uncached core) are deduplicated, first
-// occurrence winning.
+// cross-product of all axes is explored; points whose dimension values
+// fail a registry cross-constraint (Monte on binary fields, Billie on
+// prime fields) are pruned, and points that canonicalize to the same
+// physical configuration (e.g. cache-size variants of an uncached core)
+// are deduplicated, first occurrence winning.
 //
 // The typed fields are the public surface; everything behind them —
-// defaults, domains, expansion order, canonicalization — is driven by
-// the axis registry in axes.go. A new axis is one slice field here plus
-// one registry entry.
+// defaults, domains, expansion order, validity, canonicalization — is
+// driven by the axis registry in axes.go. The dimension fields (Archs,
+// Curves) and the option fields are all registry axes alike: a new
+// option axis is one slice field here plus one registry entry.
 type SweepSpec struct {
+	// Dimension axes: what is simulated.
 	Archs  []sim.Arch
 	Curves []string
 
@@ -80,26 +81,10 @@ func FullSweep() SweepSpec {
 	}
 }
 
-// AllArchs lists the paper's five evaluated architectures.
-func AllArchs() []sim.Arch {
-	return []sim.Arch{sim.Baseline, sim.ISAExt, sim.ISAExtCache, sim.WithMonte, sim.WithBillie}
-}
-
-// AllCurves lists all ten NIST curves, primes first.
-func AllCurves() []string {
-	out := append([]string{}, ec.PrimeCurveNames...)
-	return append(out, ec.BinaryCurveNames...)
-}
-
 // normalized returns the spec with nil axes replaced by their defaults,
-// as declared in the axis registry.
+// as declared in the axis registry (dimension axes included: an empty
+// Archs or Curves set means the full declared domain).
 func (s SweepSpec) normalized() SweepSpec {
-	if len(s.Archs) == 0 {
-		s.Archs = AllArchs()
-	}
-	if len(s.Curves) == 0 {
-		s.Curves = AllCurves()
-	}
 	for _, ax := range axes {
 		ax.normalize(&s)
 	}
@@ -110,13 +95,10 @@ func (s SweepSpec) normalized() SweepSpec {
 // simulation runs. Each axis value is checked against the same domain
 // sim.Run validates with, so a value is rejected identically whether it
 // arrives through a sweep spec, a single simulation, or a CLI flag.
+// Axes are checked in registry order, so dimension errors (an unknown
+// curve) surface before option errors.
 func (s SweepSpec) Validate() error {
 	n := s.normalized()
-	for _, c := range n.Curves {
-		if !ec.KnownCurve(c) {
-			return fmt.Errorf("dse: unknown curve %q (want one of %v)", c, AllCurves())
-		}
-	}
 	for _, ax := range axes {
 		if ax.check == nil {
 			continue
@@ -135,7 +117,7 @@ func (s SweepSpec) Validate() error {
 // canonical deduplication.
 func (s SweepSpec) RawPoints() int {
 	n := s.normalized()
-	total := len(n.Archs) * len(n.Curves)
+	total := 1
 	for _, ax := range axes {
 		total *= len(ax.values(&n))
 	}
@@ -143,30 +125,71 @@ func (s SweepSpec) RawPoints() int {
 }
 
 // PrunedPoints returns how many raw grid points the spec loses to
-// validity pruning alone: invalid architecture/curve pairs (Monte on a
-// binary curve, Billie on a prime curve) each drop a full per-pair axis
-// grid. RawPoints = PrunedPoints + deduplicated + unique.
+// validity pruning alone: each dimension point rejected by a registry
+// cross-constraint (Monte on a binary curve, Billie on a prime curve)
+// drops a full per-pair option grid. RawPoints = PrunedPoints +
+// deduplicated + unique.
 func (s SweepSpec) PrunedPoints() int {
 	n := s.normalized()
+	vals := make([][]axisValue, len(axes))
 	perPair := 1
-	for _, ax := range axes {
-		perPair *= len(ax.values(&n))
-	}
-	invalid := 0
-	for _, a := range n.Archs {
-		for _, c := range n.Curves {
-			if !(Config{Arch: a, Curve: c}).Valid() {
-				invalid++
-			}
+	for i, ax := range axes {
+		vals[i] = ax.values(&n)
+		if !ax.Dimension {
+			perPair *= len(vals[i])
 		}
 	}
+	invalid := 0
+	forEachDimension(vals, func(c *Config) {
+		if !c.Valid() {
+			invalid++
+		}
+	})
 	return invalid * perPair
 }
 
+// forEachDimension runs the dimension-axis odometer over vals (indexed
+// by registry position; only the dimension entries are read) in
+// registry order, the last dimension varying fastest — arch-major,
+// then curve, reproducing the historical nested-loop order. fn is
+// called once per dimension point with a scratch config holding
+// exactly those values; it must copy the config if it retains it.
+func forEachDimension(vals [][]axisValue, fn func(c *Config)) {
+	for _, i := range dimIdx {
+		if len(vals[i]) == 0 {
+			return
+		}
+	}
+	idx := make([]int, len(dimIdx))
+	// One scratch config for the whole walk: it escapes through the
+	// registry closures, so hoisting it costs one allocation total.
+	var scratch Config
+	for {
+		scratch = Config{}
+		for k, i := range dimIdx {
+			axes[i].set(&scratch, vals[i][idx[k]])
+		}
+		fn(&scratch)
+		k := len(dimIdx) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(vals[dimIdx[k]]) {
+				break
+			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			return
+		}
+	}
+}
+
 // Expand enumerates the spec's unique canonical configurations in
-// deterministic specification order (arch-major, then curve, then the
-// registered option axes in registry order with the last — the workload
-// — varying fastest), pruning invalid architecture/curve pairs and
+// deterministic specification order (the registry odometer: dimension
+// axes first — arch-major, then curve — then the option axes in
+// registry order with the last, the workload, varying fastest),
+// pruning dimension points that fail a registry cross-constraint and
 // deduplicating canonically identical configurations.
 //
 // The enumeration is factored by relevance rather than brute
@@ -177,7 +200,7 @@ func (s SweepSpec) PrunedPoints() int {
 // also deduplicated up front by canonical effect (CacheBytes {0, 4096}
 // is one point, not two). Baseline therefore explores its one real knob
 // — the workload — instead of the full option grid, and the work is
-// O(unique configs), not O(RawPoints). expandBrute keeps the original
+// O(unique configs), not O(RawPoints). expandBrute keeps the plain
 // odometer as the oracle; the equivalence tests prove both paths emit
 // the identical slice, same members in the same first-occurrence order.
 //
@@ -192,109 +215,113 @@ func (s SweepSpec) Expand() []Config {
 	}
 	seen := make(map[string]bool)
 	var out []Config
-	live := make([]int, 0, len(axes))
+	live := make([]int, 0, len(optIdx))
 	idx := make([]int, len(axes))
 	buf := make([]byte, 0, keyBufCap)
 	// One scratch config, canonicalized in place per point: hoisted so
 	// the escape through the registry closures costs one allocation for
 	// the whole expansion, not one per point.
 	var scratch Config
-	for _, a := range n.Archs {
-		// The factored axis set for this architecture. archRelevant is an
-		// upper bound of relevant, so pinning the excluded axes at zero
-		// loses nothing: Canonical would clear them anyway.
-		live = live[:0]
-		for i, ax := range axes {
-			if ax.archRelevant == nil || ax.archRelevant(a) {
-				live = append(live, i)
+	lastArch := sim.Arch(-1)
+	forEachDimension(vals, func(dim *Config) {
+		if dim.Arch != lastArch {
+			// The factored axis set for this architecture. archRelevant
+			// is an upper bound of relevant, so pinning the excluded axes
+			// at zero loses nothing: Canonical would clear them anyway.
+			lastArch = dim.Arch
+			live = live[:0]
+			for _, i := range optIdx {
+				ax := axes[i]
+				if ax.archRelevant == nil || ax.archRelevant(dim.Arch) {
+					live = append(live, i)
+				}
 			}
 		}
-		for _, curve := range n.Curves {
-			// Validity depends only on (arch, curve): hoist the prune out
-			// of the option grid entirely.
-			if !(Config{Arch: a, Curve: curve}).Valid() {
-				continue
+		// Validity depends only on the dimension axes: evaluate the
+		// registry cross-constraints once per dimension point, hoisted
+		// out of the option grid entirely.
+		if !dim.Valid() {
+			return
+		}
+		for _, i := range optIdx {
+			idx[i] = 0
+		}
+		for {
+			scratch = *dim
+			for _, i := range live {
+				axes[i].set(&scratch, vals[i][idx[i]])
 			}
-			for i := range idx {
-				idx[i] = 0
+			// Full canonicalization still runs per point:
+			// value-conditional collapses (an ideal cache folding the
+			// prefetch and line axes) are below the arch-level
+			// factoring, and the seen map absorbs them.
+			scratch.canonicalize()
+			buf = scratch.appendKeyTo(buf[:0])
+			if !seen[string(buf)] {
+				cfg := scratch
+				cfg.key = string(buf)
+				seen[cfg.key] = true
+				out = append(out, cfg)
 			}
-			for {
-				var opt sim.Options
-				for _, i := range live {
-					axes[i].set(&opt, vals[i][idx[i]])
-				}
-				// Full canonicalization still runs per point:
-				// value-conditional collapses (an ideal cache folding the
-				// prefetch and line axes) are below the arch-level
-				// factoring, and the seen map absorbs them.
-				scratch = Config{Arch: a, Curve: curve, Opt: opt}
-				scratch.canonicalize()
-				buf = scratch.appendKeyTo(buf[:0])
-				if !seen[string(buf)] {
-					cfg := scratch
-					cfg.key = string(buf)
-					seen[cfg.key] = true
-					out = append(out, cfg)
-				}
-				// Odometer step over the live axes only; the last is
-				// least significant.
-				k := len(live) - 1
-				for k >= 0 {
-					i := live[k]
-					idx[i]++
-					if idx[i] < len(vals[i]) {
-						break
-					}
-					idx[i] = 0
-					k--
-				}
-				if k < 0 {
+			// Odometer step over the live axes only; the last is
+			// least significant.
+			k := len(live) - 1
+			for k >= 0 {
+				i := live[k]
+				idx[i]++
+				if idx[i] < len(vals[i]) {
 					break
 				}
+				idx[i] = 0
+				k--
+			}
+			if k < 0 {
+				break
 			}
 		}
-	}
+	})
 	return out
 }
 
 // dedupAxisValues collapses an axis's swept values by canonical effect:
-// two values that set-then-canonicalize to the same option field (0 and
+// two values that set-then-canonicalize to the same config field (0 and
 // 4096 for CacheBytes, 16 and the elided 0 for CacheLineBytes) are one
 // grid point, first occurrence winning. The quadratic scan is fine —
 // axis value lists are a handful of entries.
 func dedupAxisValues(ax *Axis, vs []axisValue) []axisValue {
-	canonOf := func(v axisValue) sim.Options {
-		var o sim.Options
-		ax.set(&o, v)
+	canonOf := func(v axisValue) Config {
+		var c Config
+		ax.set(&c, v)
 		if ax.canon != nil {
-			ax.canon(&o)
+			ax.canon(&c)
 		}
-		return o
+		return c
 	}
 	out := vs[:0:0]
-	var reps []sim.Options
+	var reps []Config
 	for _, v := range vs {
-		o := canonOf(v)
+		c := canonOf(v)
 		dup := false
 		for _, r := range reps {
-			if r == o {
+			if r == c {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			reps = append(reps, o)
+			reps = append(reps, c)
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-// expandBrute is the original cross-product odometer: every axis for
-// every architecture, validity checked per raw point, Canonical and a
-// key render per point. Kept as the oracle the factored Expand is
-// proven against — O(RawPoints) where Expand is O(unique) — and as the
-// reference semantics for what a spec means.
+// expandBrute is the plain cross-product odometer over every registered
+// axis — dimensions and options alike, in registry order — with
+// validity checked per raw point and Canonical plus a key render per
+// point. Kept as the oracle the factored Expand is proven against —
+// O(RawPoints) where Expand is O(unique) — and as the reference
+// semantics for what a spec means.
 func (s SweepSpec) expandBrute() []Config {
 	n := s.normalized()
 	vals := make([][]axisValue, len(axes))
@@ -305,41 +332,35 @@ func (s SweepSpec) expandBrute() []Config {
 	var out []Config
 	idx := make([]int, len(axes))
 	buf := make([]byte, 0, keyBufCap)
-	for _, a := range n.Archs {
-		for _, c := range n.Curves {
-			for i := range idx {
-				idx[i] = 0
+	var scratch Config
+	for {
+		scratch = Config{}
+		for i, ax := range axes {
+			ax.set(&scratch, vals[i][idx[i]])
+		}
+		if scratch.Valid() {
+			scratch.canonicalize()
+			buf = scratch.appendKeyTo(buf[:0])
+			if !seen[string(buf)] {
+				key := string(buf)
+				seen[key] = true
+				cfg := scratch
+				cfg.key = key
+				out = append(out, cfg)
 			}
-			for {
-				var opt sim.Options
-				for i, ax := range axes {
-					ax.set(&opt, vals[i][idx[i]])
-				}
-				cfg := Config{Arch: a, Curve: c, Opt: opt}
-				if cfg.Valid() {
-					cfg = cfg.Canonical()
-					buf = cfg.appendKeyTo(buf[:0])
-					if !seen[string(buf)] {
-						key := string(buf)
-						seen[key] = true
-						cfg.key = key
-						out = append(out, cfg)
-					}
-				}
-				// Odometer step: the last axis is least significant.
-				k := len(axes) - 1
-				for k >= 0 {
-					idx[k]++
-					if idx[k] < len(vals[k]) {
-						break
-					}
-					idx[k] = 0
-					k--
-				}
-				if k < 0 {
-					break
-				}
+		}
+		// Odometer step: the last axis is least significant.
+		k := len(axes) - 1
+		for k >= 0 {
+			idx[k]++
+			if idx[k] < len(vals[k]) {
+				break
 			}
+			idx[k] = 0
+			k--
+		}
+		if k < 0 {
+			break
 		}
 	}
 	return out

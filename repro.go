@@ -232,12 +232,36 @@ func RegisterAxisFlags(fs *flag.FlagSet) func(*Options) {
 	return dse.RegisterAxisFlags(fs)
 }
 
+// RegisterDimensionFlags registers the dimension axes' selection flags
+// (-arch, -curve) on fs from the dse axis registry and returns the
+// bound values keyed by flag name; convert them with ParseArchitecture
+// / ParseCurveName, which reject typos with the registry's guidance.
+func RegisterDimensionFlags(fs *flag.FlagSet) map[string]*string {
+	return dse.RegisterDimensionFlags(fs)
+}
+
+// ParseArchitecture parses a CLI architecture name through the dse
+// registry's arch dimension axis: the canonical names plus the
+// historical short spellings ("isaext", "icache"), case-insensitively.
+// A typo fails with an error listing the valid names.
+func ParseArchitecture(s string) (Architecture, error) { return dse.ParseArch(s) }
+
+// ArchitectureNames lists the canonical CLI names of the evaluated
+// architectures, from the dse registry's arch dimension axis.
+func ArchitectureNames() []string { return dse.ArchNames() }
+
+// ParseCurveName validates a CLI curve name through the dse registry's
+// curve dimension axis, failing with the same unknown-curve guidance
+// sweep validation gives.
+func ParseCurveName(s string) (string, error) { return dse.ParseCurve(s) }
+
 // AxesHelp renders the design-space axis registry as help text: one
-// line per knob with its CLI flag, description and value domain.
+// line per axis — the arch/curve dimensions first, then the option
+// knobs — with its CLI flag, description and value domain.
 func AxesHelp() string { return dse.AxesHelp() }
 
-// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates,
-// in registry order.
+// AxisFlagNames lists the CLI flag names RegisterAxisFlags generates
+// (option axes only), in registry order.
 func AxisFlagNames() []string { return dse.AxisFlagNames() }
 
 // Design-space exploration types, re-exported from internal/dse.
