@@ -389,6 +389,30 @@ func BenchmarkColdFullSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkAdaptiveFrontier measures the coarse-to-fine Pareto-guided
+// exploration of the full grid from scratch — the cost of obtaining
+// frontiers identical to BenchmarkColdFullSweep's while pricing a
+// fraction of its configurations. The evaluated-ratio metric is that
+// fraction; the equivalence itself is asserted by the dse tests.
+func BenchmarkAdaptiveFrontier(b *testing.B) {
+	spec := dse.FullSweep()
+	var ar *dse.AdaptiveResult
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		sim.ResetCensusMemo()
+		cache := dse.NewCache()
+		b.StartTimer()
+		var err error
+		ar, err = dse.AdaptiveSweep(spec, dse.SweepOptions{Cache: cache})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ar.Evaluated), "evaluated")
+	b.ReportMetric(float64(ar.Evaluated)/float64(ar.GridConfigs), "evaluated-ratio")
+	b.ReportMetric(float64(ar.Rounds), "rounds")
+}
+
 // BenchmarkColdFullSweepNoMemo is the same grid with the memo disabled —
 // the pre-memoization behavior, where every configuration re-executes
 // its functional crypto profile. The ratio against BenchmarkColdFullSweep

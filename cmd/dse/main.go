@@ -18,6 +18,9 @@
 //	dse -sweep -workload ecdh,handshake  # sweep exactly these scenarios
 //	                                     # (replaces the default sign-verify axis)
 //	dse -sweep -curves P-192,B-163       # restrict the curve axis
+//	dse -sweep -adaptive                 # Pareto-guided exploration: the per-level
+//	                                     # frontiers without pricing the whole grid
+//	dse -sweep -adaptive -adaptive-budget 200  # cap evaluated configurations
 //
 // A sweep can be split across processes or hosts: every runner gets the
 // same spec and cache directory, each evaluates one shard of the grid
@@ -64,6 +67,9 @@ func main() {
 		curves   = flag.String("curves", "", "with -sweep: comma-separated curve subset replacing the full 10-curve axis")
 		shard    = flag.String("shard", "", "with -sweep: run one shard of the grid, as i/n (e.g. 0/2); results flush to a per-shard store in -cache-dir, combined later by -merge-cache")
 
+		adaptive       = flag.Bool("adaptive", false, "with -sweep: adaptive Pareto-guided exploration — refine around the live per-security-level frontiers instead of pricing the whole grid")
+		adaptiveBudget = flag.Int("adaptive-budget", 0, "with -sweep -adaptive: evaluate at most this many configurations (0 = explore until the frontiers stop moving)")
+
 		stats     = flag.Bool("stats", false, "after a -sweep or -arch run: print collected telemetry (per-phase census-vs-pricing split, sweep stage timing, cache counters)")
 		traceFile = flag.String("trace", "", "append one JSON event per run stage (sweep start/point/flush/end, merges) to this file; shard runs may share it")
 		httpAddr  = flag.String("http", "", "with -sweep: serve live /metrics, /progress and /debug/pprof on this address (e.g. :8080) while the sweep runs")
@@ -84,31 +90,10 @@ func main() {
 	// string is read back from the generated flag.
 	workload := flag.CommandLine.Lookup("workload").Value.String()
 
-	// Exactly one mode may be selected; a second mode flag would be
-	// silently dropped on the floor otherwise (e.g. -sweep -arch monte
-	// used to run the sweep and ignore the -arch run entirely).
-	modes := 0
-	for _, on := range []bool{*list, *sweep, *all, *exp != "", *arch != "", *mergeCache} {
-		if on {
-			modes++
-		}
-	}
-	if modes > 1 {
-		fmt.Fprintln(os.Stderr, "conflicting modes: pick exactly one of -list, -sweep, -all, -exp, -arch, -merge-cache")
-		os.Exit(1)
-	}
-
-	// The experiment renderers price fixed scenarios and the merge is
-	// workload-agnostic; a -workload that would be silently ignored is
-	// an error, not default output.
-	if workload != "" && (*all || *exp != "" || *list || *mergeCache) {
-		fmt.Fprintln(os.Stderr, "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments and -merge-cache merges every stored result")
-		os.Exit(1)
-	}
-	// The other axis flags configure a single -arch run; a sweep
-	// explores the FullSweep axis grid (subset it with -curves and
-	// -workload), so an axis flag any other mode would silently drop is
-	// an error too.
+	// The design-space flags other than -workload configure a single
+	// -arch run; collected here so the coherence rules can reject one a
+	// sweep or experiment mode would silently drop.
+	var axisFlags []string
 	if *arch == "" {
 		isAxis := make(map[string]bool)
 		for _, name := range repro.AxisFlagNames() {
@@ -116,32 +101,24 @@ func main() {
 		}
 		flag.Visit(func(f *flag.Flag) {
 			if isAxis[f.Name] && f.Name != "workload" {
-				fmt.Fprintf(os.Stderr, "-%s applies to -arch runs only; -sweep explores the full axis grid (use -curves/-workload to subset it)\n", f.Name)
-				os.Exit(1)
+				axisFlags = append(axisFlags, f.Name)
 			}
 		})
 	}
-	if (*shard != "" || *curves != "") && !*sweep {
-		fmt.Fprintln(os.Stderr, "-shard and -curves apply to -sweep only")
+	// Every flag-coherence rule lives in conflictError so each rejection
+	// is regression-testable; main only prints the verdict and exits.
+	if msg := conflictError(cliFlags{
+		list: *list, sweep: *sweep, all: *all, mergeCache: *mergeCache,
+		exp: *exp, arch: *arch,
+		workload: workload, curves: *curves, shard: *shard,
+		adaptive: *adaptive, adaptiveBudget: *adaptiveBudget,
+		jsonOut: *jsonOut, pareto: *pareto, progress: *progress,
+		workers: *workers, stats: *stats,
+		traceFile: *traceFile, cacheDir: *cacheDir, httpAddr: *httpAddr,
+		axisFlags: axisFlags,
+	}); msg != "" {
+		fmt.Fprintln(os.Stderr, msg)
 		os.Exit(1)
-	}
-	if !*sweep {
-		if *jsonOut || *pareto || *workers != 0 || *progress || *httpAddr != "" {
-			fmt.Fprintln(os.Stderr, "-json, -pareto, -workers, -progress and -http apply to -sweep only")
-			os.Exit(1)
-		}
-		if *stats && *arch == "" {
-			fmt.Fprintln(os.Stderr, "-stats applies to -sweep and -arch runs only")
-			os.Exit(1)
-		}
-		if *traceFile != "" && !*mergeCache {
-			fmt.Fprintln(os.Stderr, "-trace applies to -sweep and -merge-cache only")
-			os.Exit(1)
-		}
-		if *cacheDir != "" && !*mergeCache {
-			fmt.Fprintln(os.Stderr, "-cache-dir applies to -sweep and -merge-cache only")
-			os.Exit(1)
-		}
 	}
 
 	switch {
@@ -157,6 +134,7 @@ func main() {
 			cacheDir: *cacheDir, workloads: workload, curves: *curves,
 			shard: *shard, progress: *progress, stats: *stats,
 			traceFile: *traceFile, httpAddr: *httpAddr,
+			adaptive: *adaptive, adaptiveBudget: *adaptiveBudget,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -239,6 +217,69 @@ type sweepConfig struct {
 	curves, shard       string
 	progress, stats     bool
 	traceFile, httpAddr string
+	adaptive            bool
+	adaptiveBudget      int
+}
+
+// cliFlags captures the parsed flag state the coherence rules inspect.
+type cliFlags struct {
+	list, sweep, all, mergeCache  bool
+	exp, arch                     string
+	workload, curves, shard       string
+	adaptive                      bool
+	adaptiveBudget                int
+	jsonOut, pareto, progress     bool
+	workers                       int
+	stats                         bool
+	traceFile, cacheDir, httpAddr string
+	// axisFlags are non-workload design-space flags set without -arch
+	// (they configure a single -arch run only).
+	axisFlags []string
+}
+
+// conflictError returns the message dse prints (exiting 1) for a flag
+// combination that selects conflicting behavior, or "" when the
+// combination is coherent. Exactly one mode may be selected, and a flag
+// another mode would silently drop is an error, not default output —
+// factored out of main so every rejection is regression-testable.
+func conflictError(c cliFlags) string {
+	modes := 0
+	for _, on := range []bool{c.list, c.sweep, c.all, c.exp != "", c.arch != "", c.mergeCache} {
+		if on {
+			modes++
+		}
+	}
+	switch {
+	case modes > 1:
+		return "conflicting modes: pick exactly one of -list, -sweep, -all, -exp, -arch, -merge-cache"
+	case c.workload != "" && (c.all || c.exp != "" || c.list || c.mergeCache):
+		// The experiment renderers price fixed scenarios and the merge
+		// is workload-agnostic.
+		return "-workload applies to -arch runs and -sweep; -all/-exp/-list render fixed experiments and -merge-cache merges every stored result"
+	case len(c.axisFlags) > 0:
+		return fmt.Sprintf("-%s applies to -arch runs only; -sweep explores the full axis grid (use -curves/-workload to subset it)", c.axisFlags[0])
+	case (c.shard != "" || c.curves != "") && !c.sweep:
+		return "-shard and -curves apply to -sweep only"
+	case c.adaptive && !c.sweep:
+		return "-adaptive applies to -sweep only: adaptive exploration refines the sweep grid (run dse -sweep -adaptive)"
+	case c.adaptive && c.shard != "":
+		return "-adaptive conflicts with -shard: adaptive rounds pick configurations from live frontiers, so no fixed i/n hash partition covers them (drop -shard, or shard the exhaustive sweep instead)"
+	case c.adaptiveBudget != 0 && !c.adaptive:
+		return "-adaptive-budget applies to -sweep -adaptive only"
+	}
+	if !c.sweep {
+		switch {
+		case c.jsonOut || c.pareto || c.workers != 0 || c.progress || c.httpAddr != "":
+			return "-json, -pareto, -workers, -progress and -http apply to -sweep only"
+		case c.stats && c.arch == "":
+			return "-stats applies to -sweep and -arch runs only"
+		case c.traceFile != "" && !c.mergeCache:
+			return "-trace applies to -sweep and -merge-cache only"
+		case c.cacheDir != "" && !c.mergeCache:
+			return "-cache-dir applies to -sweep and -merge-cache only"
+		}
+	}
+	return ""
 }
 
 // openJournal opens (or creates) a run-journal file in append mode so
@@ -350,7 +391,19 @@ func runSweep(cfg sweepConfig) error {
 			}
 		}
 	}
-	res, err := repro.Sweep(spec, opt)
+	var (
+		res *repro.SweepResult
+		ar  *repro.AdaptiveResult
+	)
+	if cfg.adaptive {
+		opt.AdaptiveBudget = cfg.adaptiveBudget
+		ar, err = repro.AdaptiveSweep(spec, opt)
+		if ar != nil {
+			res = ar.Result
+		}
+	} else {
+		res, err = repro.Sweep(spec, opt)
+	}
 	if rendered {
 		// Terminate (and on failure, visibly close off) the live line.
 		fmt.Fprintln(os.Stderr)
@@ -382,9 +435,25 @@ func runSweep(cfg sweepConfig) error {
 		fmt.Printf("shard %d/%d: %d of the grid's configurations belong to this runner\n",
 			res.ShardIndex, res.ShardCount, res.Configs)
 	}
+	if ar != nil && !cfg.jsonOut {
+		fmt.Printf("adaptive exploration: %d/%d grid configurations evaluated (%.0f%%) in %d rounds (%d pruned, %d frontier moves)\n",
+			ar.Evaluated, ar.GridConfigs,
+			100*float64(ar.Evaluated)/float64(max(ar.GridConfigs, 1)),
+			ar.Rounds, ar.Pruned, ar.FrontierMoves)
+		if ar.BudgetHit {
+			fmt.Printf("stopped on -adaptive-budget %d before the frontiers converged; the frontiers below may be incomplete\n",
+				cfg.adaptiveBudget)
+		}
+	}
 	switch {
 	case cfg.jsonOut && cfg.paretoOnly:
 		out, err := repro.SweepFrontiersJSON(res.Points)
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+	case cfg.jsonOut && ar != nil:
+		out, err := ar.MarshalJSON()
 		if err != nil {
 			return err
 		}
@@ -395,6 +464,19 @@ func runSweep(cfg sweepConfig) error {
 			return err
 		}
 		fmt.Println(string(out))
+	case ar != nil:
+		if cfg.paretoOnly {
+			frontier := repro.Pareto(res.Points)
+			fmt.Printf("energy-vs-latency Pareto frontier: %d of %d evaluated configurations (cache %d hit / %d miss)\n",
+				len(frontier), res.Configs, res.CacheHits, res.CacheMisses)
+			printPoints(frontier)
+			fmt.Println()
+		}
+		fmt.Println("per-security-level frontiers (fixed key strength):")
+		for _, lf := range ar.Frontiers {
+			fmt.Printf("[level %d, ~%d-bit]\n", lf.Level, lf.SecurityBits)
+			printPoints(lf.Points)
+		}
 	case cfg.paretoOnly:
 		frontier := repro.Pareto(res.Points)
 		fmt.Printf("energy-vs-latency Pareto frontier: %d of %d unique configurations (grid %d, workers %d, cache %d hit / %d miss)\n",

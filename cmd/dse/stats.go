@@ -56,6 +56,16 @@ func printStats(w io.Writer, reg *repro.Metrics, timing *repro.SweepTiming) {
 			s.Counters["dse.expand.pruned"], s.Counters["dse.expand.deduped"])
 	}
 
+	// Adaptive-exploration economics: how much of the grid the
+	// frontier-guided refinement actually priced.
+	if rounds := s.Counters["dse.adaptive.rounds"]; rounds > 0 {
+		grid := s.Gauges["dse.adaptive.grid"]
+		eval := s.Counters["dse.adaptive.evaluated"]
+		fmt.Fprintf(w, "adaptive exploration: %d/%d grid configs evaluated (%.0f%%) in %d rounds (%d pruned, %d frontier moves)\n",
+			eval, grid, 100*float64(eval)/float64(max(grid, 1)), rounds,
+			s.Counters["dse.adaptive.pruned"], s.Counters["dse.adaptive.frontier_moves"])
+	}
+
 	if timing != nil {
 		fmt.Fprintln(w, "sweep stages:")
 		fmt.Fprintf(w, "  total %.3fs  expand %.3fs  load %.3fs (%d B)  flush %.3fs (%d B)\n",

@@ -178,6 +178,11 @@ const (
 	ScaleLog2
 )
 
+// Ordered reports whether the scale defines a numeric ordering a
+// strategy can step along — linear and log2 axes bisect and walk
+// toward interior optima; enumerated ones can only substitute members.
+func (s Scale) Ordered() bool { return s == ScaleLinear || s == ScaleLog2 }
+
 // String names the scale for help text and test failure messages.
 func (s Scale) String() string {
 	switch s {

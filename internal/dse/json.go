@@ -121,6 +121,12 @@ func (p Point) ToJSON() PointJSON {
 // MarshalJSON renders the sweep result, including its Pareto frontier, as
 // indented JSON.
 func (r *SweepResult) MarshalJSON() ([]byte, error) {
+	return json.MarshalIndent(r.toWire(), "", "  ")
+}
+
+// toWire builds the sweep's wire form (shared between the standalone
+// sweep document and the adaptive document's embedded sweep).
+func (r *SweepResult) toWire() SweepJSON {
 	out := SweepJSON{
 		ClockHz:       energy.SystemClockHz,
 		RawPoints:     r.RawPoints,
@@ -141,6 +147,34 @@ func (r *SweepResult) MarshalJSON() ([]byte, error) {
 		out.Points = append(out.Points, p.ToJSON())
 	}
 	out.Pareto, out.ParetoPerLevel = frontierViews(r.Points)
+	return out
+}
+
+// AdaptiveJSON is the machine-readable rendering of an adaptive
+// exploration: the economics up front, then the evaluated cloud in the
+// same wire form as an exhaustive sweep (whose paretoPerLevel section
+// is the exploration's frontier answer).
+type AdaptiveJSON struct {
+	Rounds        int       `json:"rounds"`
+	Evaluated     int       `json:"evaluated"`
+	GridConfigs   int       `json:"gridConfigs"`
+	Pruned        int       `json:"pruned"`
+	FrontierMoves int       `json:"frontierMoves"`
+	BudgetHit     bool      `json:"budgetHit,omitempty"`
+	Sweep         SweepJSON `json:"sweep"`
+}
+
+// MarshalJSON renders the adaptive exploration as indented JSON.
+func (ar *AdaptiveResult) MarshalJSON() ([]byte, error) {
+	out := AdaptiveJSON{
+		Rounds:        ar.Rounds,
+		Evaluated:     ar.Evaluated,
+		GridConfigs:   ar.GridConfigs,
+		Pruned:        ar.Pruned,
+		FrontierMoves: ar.FrontierMoves,
+		BudgetHit:     ar.BudgetHit,
+		Sweep:         ar.Result.toWire(),
+	}
 	return json.MarshalIndent(out, "", "  ")
 }
 

@@ -48,11 +48,18 @@ type LevelFrontier struct {
 	Points       []Point
 }
 
-// ParetoPerLevel computes the energy-vs-latency frontier separately for
-// each of the paper's security levels — the comparison that matters when
-// the key strength is a requirement rather than a knob. Points with no
-// known level are ignored; levels are returned ascending.
-func ParetoPerLevel(points []Point) []LevelFrontier {
+// levelGroup is one security level's slice of the point cloud, as
+// produced by perLevel.
+type levelGroup struct {
+	level, bits int
+	points      []Point
+}
+
+// perLevel groups a point cloud by the paper's security level — the
+// shared walk under every per-level analysis: points with no known
+// level (SecLevel == 0) are dropped, levels come back ascending, and
+// each level's points keep their input order.
+func perLevel(points []Point) []levelGroup {
 	byLevel := make(map[int][]Point)
 	for _, p := range points {
 		if p.SecLevel == 0 {
@@ -65,13 +72,26 @@ func ParetoPerLevel(points []Point) []LevelFrontier {
 		levels = append(levels, l)
 	}
 	sort.Ints(levels)
-	out := make([]LevelFrontier, 0, len(levels))
+	out := make([]levelGroup, 0, len(levels))
 	for _, l := range levels {
 		ps := byLevel[l]
+		out = append(out, levelGroup{level: l, bits: ps[0].SecurityBits, points: ps})
+	}
+	return out
+}
+
+// ParetoPerLevel computes the energy-vs-latency frontier separately for
+// each of the paper's security levels — the comparison that matters when
+// the key strength is a requirement rather than a knob. Points with no
+// known level are ignored; levels are returned ascending.
+func ParetoPerLevel(points []Point) []LevelFrontier {
+	groups := perLevel(points)
+	out := make([]LevelFrontier, 0, len(groups))
+	for _, g := range groups {
 		out = append(out, LevelFrontier{
-			Level:        l,
-			SecurityBits: ps[0].SecurityBits,
-			Points:       Pareto(ps),
+			Level:        g.level,
+			SecurityBits: g.bits,
+			Points:       Pareto(g.points),
 		})
 	}
 	return out
@@ -110,22 +130,11 @@ type BestPerLevel struct {
 // "best design point per key strength" comparison, computed live. Levels
 // are returned in ascending order.
 func BestPerSecurity(points []Point) []BestPerLevel {
-	byLevel := make(map[int][]Point)
-	for _, p := range points {
-		if p.SecLevel == 0 {
-			continue
-		}
-		byLevel[p.SecLevel] = append(byLevel[p.SecLevel], p)
-	}
-	levels := make([]int, 0, len(byLevel))
-	for l := range byLevel {
-		levels = append(levels, l)
-	}
-	sort.Ints(levels)
-	out := make([]BestPerLevel, 0, len(levels))
-	for _, l := range levels {
-		ps := byLevel[l]
-		best := BestPerLevel{Level: l, SecurityBits: ps[0].SecurityBits,
+	groups := perLevel(points)
+	out := make([]BestPerLevel, 0, len(groups))
+	for _, g := range groups {
+		ps := g.points
+		best := BestPerLevel{Level: g.level, SecurityBits: g.bits,
 			MinEnergy: ps[0], MinLatency: ps[0], MinEDP: ps[0]}
 		for _, p := range ps[1:] {
 			if better(p.EnergyJ, best.MinEnergy.EnergyJ, p, best.MinEnergy) {

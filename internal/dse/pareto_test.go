@@ -176,6 +176,87 @@ func TestBestPerSecurity(t *testing.T) {
 	}
 }
 
+// leveled builds a Point at a given security level with a
+// distinguishing curve label.
+func leveled(label string, energyJ, timeS float64, level, bits int) Point {
+	p := fixture(label, energyJ, timeS)
+	p.SecLevel, p.SecurityBits = level, bits
+	return p
+}
+
+func TestPerLevelEmptyInput(t *testing.T) {
+	// Both per-level analyses share perLevel: empty input must come back
+	// as zero levels, not a panic or a nil-level group.
+	if got := perLevel(nil); len(got) != 0 {
+		t.Errorf("perLevel(nil) = %v, want empty", got)
+	}
+	if got := ParetoPerLevel(nil); len(got) != 0 {
+		t.Errorf("ParetoPerLevel(nil) = %v, want empty", got)
+	}
+	if got := BestPerSecurity([]Point{}); len(got) != 0 {
+		t.Errorf("BestPerSecurity(empty) = %v, want empty", got)
+	}
+}
+
+func TestPerLevelAllUnleveled(t *testing.T) {
+	// A cloud made entirely of SecLevel == 0 points (unknown curves) has
+	// no levels to analyse: every grouped view is empty.
+	points := []Point{fixture("a", 1, 1), fixture("b", 2, 2)}
+	if got := perLevel(points); len(got) != 0 {
+		t.Errorf("perLevel(unleveled) = %v, want empty", got)
+	}
+	if got := ParetoPerLevel(points); len(got) != 0 {
+		t.Errorf("ParetoPerLevel(unleveled) = %v, want empty", got)
+	}
+	if got := BestPerSecurity(points); len(got) != 0 {
+		t.Errorf("BestPerSecurity(unleveled) = %v, want empty", got)
+	}
+}
+
+func TestPerLevelGrouping(t *testing.T) {
+	// Levels come back ascending regardless of input order, each group
+	// keeps input order, and SecurityBits rides along from the points.
+	points := []Point{
+		leveled("e5", 1, 1, 5, 256),
+		leveled("a1", 2, 2, 1, 96),
+		leveled("b1", 3, 3, 1, 96),
+		fixture("skip", 0, 0),
+	}
+	groups := perLevel(points)
+	if len(groups) != 2 {
+		t.Fatalf("got %d groups, want 2", len(groups))
+	}
+	if groups[0].level != 1 || groups[0].bits != 96 || !equalLabels(labels(groups[0].points), "a1", "b1") {
+		t.Errorf("group 0 = level %d bits %d %v, want level 1 bits 96 [a1 b1]",
+			groups[0].level, groups[0].bits, labels(groups[0].points))
+	}
+	if groups[1].level != 5 || groups[1].bits != 256 || !equalLabels(labels(groups[1].points), "e5") {
+		t.Errorf("group 1 = level %d bits %d %v, want level 5 bits 256 [e5]",
+			groups[1].level, groups[1].bits, labels(groups[1].points))
+	}
+}
+
+func TestParetoPerLevelKeepsTies(t *testing.T) {
+	// Duplicate-metric points within one level both survive that level's
+	// frontier — and a tie in another level is scoped to its own group.
+	points := []Point{
+		leveled("twin1", 2, 2, 1, 96),
+		leveled("twin2", 2, 2, 1, 96),
+		leveled("loser", 3, 3, 1, 96),
+		leveled("solo", 2, 2, 3, 128),
+	}
+	fs := ParetoPerLevel(points)
+	if len(fs) != 2 {
+		t.Fatalf("got %d levels, want 2", len(fs))
+	}
+	if got := labels(fs[0].Points); !equalLabels(got, "twin1", "twin2") {
+		t.Errorf("level 1 frontier = %v, want both twins and no loser", got)
+	}
+	if got := labels(fs[1].Points); !equalLabels(got, "solo") {
+		t.Errorf("level 3 frontier = %v, want [solo]", got)
+	}
+}
+
 func TestSecurityLevel(t *testing.T) {
 	cases := []struct {
 		curve       string

@@ -58,6 +58,21 @@ type SweepOptions struct {
 	// explicit Cache is flushed as-is, like any other sweep.
 	ShardIndex int
 	ShardCount int
+	// Adaptive switches Sweep from exhaustive grid evaluation to the
+	// coarse-to-fine Pareto-guided exploration in adaptive.go: a coarse
+	// sub-grid is priced first, then only neighborhoods of the live
+	// per-security-level frontiers are refined, per each axis's declared
+	// Strategy. The returned SweepResult holds only the evaluated
+	// points (a small fraction of the grid); call AdaptiveSweep directly
+	// for the frontiers and exploration economics. Incompatible with
+	// sharding (rounds pick configurations from live frontiers, so no
+	// fixed hash partition covers them).
+	Adaptive bool
+	// AdaptiveBudget, when positive, caps how many unique
+	// configurations an adaptive exploration may evaluate; the run stops
+	// (reporting BudgetHit) once the cap is reached. Zero means
+	// unlimited — the exploration stops when a round moves no frontier.
+	AdaptiveBudget int
 }
 
 // SweepResult is the outcome of exploring one SweepSpec.
@@ -104,6 +119,13 @@ type SweepResult struct {
 // results are assembled in specification order so output is byte-identical
 // for any worker count.
 func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
+	if opt.Adaptive {
+		ar, err := AdaptiveSweep(spec, opt)
+		if err != nil {
+			return nil, err
+		}
+		return ar.Result, nil
+	}
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
@@ -129,20 +151,50 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	// Expansion economics: unique is counted before sharding (every
 	// shard of a grid sees the same expansion), and raw − pruned −
 	// unique is what canonical deduplication collapsed.
-	unique := len(cfgs)
+	meta := sweepMeta{start: sweepStart, unique: len(cfgs), lifecycle: true}
 	if sharded {
 		cfgs = shardConfigs(cfgs, opt.ShardIndex, opt.ShardCount)
 	}
-	var expandDur time.Duration
 	if telOn {
-		expandDur = time.Since(sweepStart)
+		meta.expandDur = time.Since(sweepStart)
+		meta.raw = spec.RawPoints()
+		meta.pruned = spec.PrunedPoints()
+		meta.deduped = meta.raw - meta.pruned - meta.unique
 	}
-	var raw, pruned, deduped int
-	if telOn {
-		raw = spec.RawPoints()
-		pruned = spec.PrunedPoints()
-		deduped = raw - pruned - unique
-	}
+	return sweepConfigs(spec, cfgs, opt, meta)
+}
+
+// sweepMeta carries the expansion-stage context from Sweep into the
+// execution core, and lets the adaptive loop run that core once per
+// round without each round masquerading as a standalone sweep:
+// lifecycle gates the per-sweep journal events (sweep_start/sweep_end)
+// and the once-per-sweep counters (sweep.runs, dse.expand.*), and the
+// histogram pointers, when non-nil, accumulate per-point durations
+// across calls so a multi-round run reports one cumulative
+// simulate-vs-cached split.
+type sweepMeta struct {
+	start                        time.Time
+	expandDur                    time.Duration
+	raw, pruned, deduped, unique int
+	lifecycle                    bool
+	simHist, cachedHist          *telemetry.Histogram
+	// storeSynced asserts the store already holds exactly this cache's
+	// entries at entry (a previous adaptive round flushed or verified
+	// it), so a round that loads nothing new and simulates nothing can
+	// skip its flush. LoadFile counts only fresh inserts, making the
+	// cache.Len() == diskLoaded check unprovable from round 2 on.
+	storeSynced bool
+}
+
+// sweepConfigs evaluates an already-expanded configuration list on the
+// worker pool: store load, cached-or-simulated pricing with ordered
+// progress/journal delivery, and store flush. Sweep calls it once with
+// the spec's full (or shard's) expansion; AdaptiveSweep calls it once
+// per refinement round with that round's candidates.
+func sweepConfigs(spec SweepSpec, cfgs []Config, opt SweepOptions, meta sweepMeta) (*SweepResult, error) {
+	sharded := opt.ShardCount > 1
+	telOn := opt.Metrics != nil || opt.Journal != nil
+	sweepStart := meta.start
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -151,18 +203,20 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		workers = len(cfgs)
 	}
 	if opt.Metrics != nil {
-		opt.Metrics.Histogram("sweep.expand").Observe(expandDur)
 		opt.Metrics.Gauge("sweep.configs").Set(int64(len(cfgs)))
 		opt.Metrics.Gauge("sweep.workers").Set(int64(workers))
-		opt.Metrics.Counter("dse.expand.raw").Add(int64(raw))
-		opt.Metrics.Counter("dse.expand.pruned").Add(int64(pruned))
-		opt.Metrics.Counter("dse.expand.deduped").Add(int64(deduped))
-		opt.Metrics.Counter("dse.expand.unique").Add(int64(unique))
+		if meta.lifecycle {
+			opt.Metrics.Histogram("sweep.expand").Observe(meta.expandDur)
+			opt.Metrics.Counter("dse.expand.raw").Add(int64(meta.raw))
+			opt.Metrics.Counter("dse.expand.pruned").Add(int64(meta.pruned))
+			opt.Metrics.Counter("dse.expand.deduped").Add(int64(meta.deduped))
+			opt.Metrics.Counter("dse.expand.unique").Add(int64(meta.unique))
+		}
 	}
-	if opt.Journal != nil {
+	if opt.Journal != nil && meta.lifecycle {
 		f := map[string]any{
-			"configs": len(cfgs), "rawPoints": raw, "workers": workers,
-			"pruned": pruned, "deduped": deduped, "unique": unique,
+			"configs": len(cfgs), "rawPoints": meta.raw, "workers": workers,
+			"pruned": meta.pruned, "deduped": meta.deduped, "unique": meta.unique,
 		}
 		if sharded {
 			f["shardIndex"], f["shardCount"] = opt.ShardIndex, opt.ShardCount
@@ -231,7 +285,12 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 
 	// Per-sweep point-duration histograms feeding SweepResult.Timing
 	// (the registry's sweep.point.* twins accumulate across sweeps).
-	var simHist, cachedHist telemetry.Histogram
+	// Adaptive rounds share one histogram pair across calls via the
+	// meta pointers; a plain sweep uses a fresh local pair.
+	simHist, cachedHist := meta.simHist, meta.cachedHist
+	if simHist == nil {
+		simHist, cachedHist = &telemetry.Histogram{}, &telemetry.Histogram{}
+	}
 	var durNS []int64
 	if telOn {
 		durNS = make([]int64, len(cfgs))
@@ -392,7 +451,8 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		// in-memory cache holds nothing beyond what it served, the
 		// flush would rewrite identical bytes — skip it and report an
 		// unchanged store (not a phantom save).
-		if sweepErr == nil && !sharded && misses.Load() == 0 && cache.Len() == diskLoaded {
+		if sweepErr == nil && !sharded && misses.Load() == 0 &&
+			(cache.Len() == diskLoaded || (meta.storeSynced && diskLoaded == 0)) {
 			diskUnchanged = true
 			opt.Journal.Emit("store_flush", map[string]any{
 				"path": path, "entries": 0, "unchanged": true,
@@ -443,11 +503,13 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 		}
 	}
 	if opt.Metrics != nil {
-		opt.Metrics.Counter("sweep.runs").Inc()
+		if meta.lifecycle {
+			opt.Metrics.Counter("sweep.runs").Inc()
+		}
 		opt.Metrics.Counter("sweep.points.simulated").Add(int64(misses.Load()))
 		opt.Metrics.Counter("sweep.points.cached").Add(int64(hits.Load()))
 	}
-	if opt.Journal != nil {
+	if opt.Journal != nil && meta.lifecycle {
 		f := map[string]any{
 			"configs": len(cfgs), "cacheHits": hits.Load(), "cacheMisses": misses.Load(),
 			"seconds": time.Since(sweepStart).Seconds(),
@@ -465,7 +527,7 @@ func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	if opt.Metrics != nil {
 		timing = &SweepTiming{
 			TotalSeconds:  time.Since(sweepStart).Seconds(),
-			ExpandSeconds: expandDur.Seconds(),
+			ExpandSeconds: meta.expandDur.Seconds(),
 			LoadSeconds:   loadSeconds,
 			LoadBytes:     loadBytes,
 			FlushSeconds:  flushSeconds,

@@ -285,6 +285,10 @@ type (
 	BestPerLevel = dse.BestPerLevel
 	// LevelFrontier is the Pareto frontier within one security level.
 	LevelFrontier = dse.LevelFrontier
+	// AdaptiveResult is the outcome of an adaptive exploration: the
+	// evaluated cloud (shaped as a SweepResult), the per-security-level
+	// frontiers, and the exploration economics.
+	AdaptiveResult = dse.AdaptiveResult
 )
 
 // DefaultSweepSpec is every architecture × every curve at the paper's
@@ -311,6 +315,19 @@ func FullSweepSpec() SweepSpec { return dse.FullSweep() }
 // rebuilds the full SweepResult from it without re-simulating anything.
 func Sweep(spec SweepSpec, opt SweepOptions) (*SweepResult, error) {
 	return dse.Sweep(spec, opt)
+}
+
+// AdaptiveSweep explores the spec coarse-to-fine instead of
+// exhaustively: it seeds a coarse sub-grid, then each round refines
+// only around the current per-security-level Pareto frontiers until no
+// frontier moves (or SweepOptions.AdaptiveBudget caps evaluations). The
+// returned frontiers are key-identical to the exhaustive grid's while a
+// fraction of its configurations is priced; every evaluated point goes
+// through the same execution core (result cache, disk store, telemetry)
+// as Sweep. Sharding is rejected — rounds pick configurations from live
+// frontiers, so no fixed hash partition covers them.
+func AdaptiveSweep(spec SweepSpec, opt SweepOptions) (*AdaptiveResult, error) {
+	return dse.AdaptiveSweep(spec, opt)
 }
 
 // MergeSweepStores combines the canonical and per-shard result stores in
